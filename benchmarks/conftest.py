@@ -1,0 +1,17 @@
+"""Benchmark-suite fixtures.
+
+The benchmarks reuse the cached quick benchmark models (training them on
+first use), so ``pytest benchmarks/ --benchmark-only`` is self-contained.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import DIGITS_QUICK_SPEC, get_trained_model
+
+
+@pytest.fixture(scope="session")
+def digits_model():
+    """Trained quick digits model, shared across all benchmarks."""
+    return get_trained_model(DIGITS_QUICK_SPEC)

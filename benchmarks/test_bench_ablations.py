@@ -1,0 +1,16 @@
+"""Benchmarks: the ablation studies A1 (stream generator) and A2
+(bit-parallelism sweep)."""
+
+from repro.experiments import ablation_parallelism, ablation_stream
+
+
+def test_ablation_stream(benchmark):
+    rows = benchmark(ablation_stream.run, 8)
+    by = {r.stream: r for r in rows}
+    assert by["fsm"].std <= min(r.std for r in rows)
+
+
+def test_ablation_parallelism(benchmark):
+    rows = benchmark(ablation_parallelism.run, 9)
+    best = ablation_parallelism.best_adp(rows)
+    assert 2 <= best.bit_parallel <= 16

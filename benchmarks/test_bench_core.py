@@ -1,0 +1,75 @@
+"""Microbenchmarks of the core kernels every experiment leans on.
+
+These quantify the cost of the functional simulation itself: the
+closed-form matrix engine (one CNN layer worth of MACs), the
+conventional-SC lookup engine, and the cycle-accurate vector RTL.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mvm import sc_matmul
+from repro.core.rtl import BiscMvmRtl
+from repro.nn.engines import FixedPointEngine, LfsrScEngine, ProposedScEngine
+
+
+@pytest.fixture(scope="module")
+def layer_operands():
+    rng = np.random.default_rng(0)
+    w = rng.uniform(-0.5, 0.5, size=(16, 200))
+    x = rng.uniform(-0.99, 0.99, size=(200, 576))
+    return w, x
+
+
+def test_sc_matmul_final(benchmark, layer_operands):
+    w, x = layer_operands
+    rng = np.random.default_rng(1)
+    w_int = rng.integers(-128, 128, size=w.shape)
+    x_int = rng.integers(-128, 128, size=x.shape)
+    out = benchmark(sc_matmul, w_int, x_int, 8, 2, "final")
+    assert out.shape == (16, 576)
+
+
+def test_sc_matmul_per_term_saturation(benchmark, layer_operands):
+    w, x = layer_operands
+    rng = np.random.default_rng(1)
+    w_int = rng.integers(-128, 128, size=w.shape)
+    x_int = rng.integers(-128, 128, size=x.shape)
+    out = benchmark(sc_matmul, w_int, x_int, 8, 2, "term")
+    assert out.shape == (16, 576)
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [ProposedScEngine, FixedPointEngine, LfsrScEngine], ids=lambda c: c.__name__
+)
+def test_engine_layer_matmul(benchmark, layer_operands, engine_cls):
+    w, x = layer_operands
+    engine = engine_cls(n_bits=8, acc_bits=2)
+    out = benchmark(engine.matmul, w, x)
+    assert out.shape == (16, 576)
+
+
+def test_accelerator_tiled_simulation(benchmark):
+    from repro.core.accelerator_sim import simulate_conv_layer
+    from repro.core.conv_mapping import AcceleratorConfig, TilingConfig
+
+    rng = np.random.default_rng(3)
+    a = rng.integers(-64, 64, size=(4, 12, 12))
+    w = rng.integers(-64, 64, size=(8, 4, 3, 3))
+    cfg = AcceleratorConfig(n_bits=7, acc_bits=4, tiling=TilingConfig(4, 4, 4))
+    res = benchmark(simulate_conv_layer, a, w, cfg)
+    assert res.output.shape == (8, 10, 10)
+
+
+def test_rtl_mvm_clock_by_clock(benchmark):
+    rng = np.random.default_rng(2)
+    w = rng.integers(-16, 16, size=25)
+    x = rng.integers(-64, 64, size=(25, 16))
+    rtl = BiscMvmRtl(7, 16, acc_bits=4)
+
+    def run():
+        rtl.reset()
+        return rtl.run_sequence(w, x)
+
+    out = benchmark(run)
+    assert out.shape == (16,)

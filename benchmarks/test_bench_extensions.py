@@ -1,0 +1,41 @@
+"""Benchmarks for the extension studies: energy-quality trade-off,
+resilience sweep, network-level performance, RTL emission and the SC
+edge detector."""
+
+import numpy as np
+
+from repro.analysis.resilience import resilience_sweep
+from repro.core.energy_quality import truncated_matmul
+from repro.core.verilog import write_rtl_project
+from repro.experiments import DIGITS_QUICK_SPEC, network_performance
+from repro.sc.apps import roberts_cross_sc
+
+
+def test_energy_quality_truncated_matmul(benchmark):
+    rng = np.random.default_rng(0)
+    w = rng.integers(-100, 100, size=(8, 64))
+    x = rng.integers(-128, 128, size=(64, 32))
+    out = benchmark(truncated_matmul, w, x, 8, 16)
+    assert out.shape == (8, 32)
+
+
+def test_resilience_sweep(benchmark):
+    rows = benchmark(resilience_sweep, 8, (1e-3,), 2000)
+    assert len(rows) == 1
+
+
+def test_network_performance_profile(benchmark, digits_model):
+    profile = benchmark(network_performance.run, DIGITS_QUICK_SPEC, 5, 1)
+    assert profile.speedup_vs_conv_sc > 2
+
+
+def test_rtl_emission(benchmark, tmp_path):
+    files = benchmark(write_rtl_project, tmp_path, 8, 2, 16)
+    assert len(files) == 5
+
+
+def test_sc_edge_detection(benchmark):
+    rng = np.random.default_rng(1)
+    img = np.clip(rng.uniform(0, 1, (16, 16)), 0, 1)
+    out = benchmark(roberts_cross_sc, img, 8)
+    assert out.shape == (15, 15)

@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 5 — exhaustive multiplier error statistics.
+
+Each benchmark regenerates one curve family of Fig. 5 (all operand
+pairs, running statistics at power-of-two checkpoints) and asserts the
+paper's qualitative ordering.
+"""
+
+import pytest
+
+from repro.analysis import conventional_error_stats, error_statistics, proposed_error_stats
+
+
+def test_fig5_proposed_5bit(benchmark):
+    stats = benchmark(proposed_error_stats, 5)
+    assert stats.std[-1] < 0.06
+
+
+@pytest.mark.parametrize("method", ["lfsr", "halton", "ed"])
+def test_fig5_conventional_8bit(benchmark, method):
+    stats = benchmark(conventional_error_stats, method, 8)
+    assert stats.std[-1] < 0.2
+
+
+def test_fig5_full_panel_8bit(benchmark):
+    """All four methods at 8 bits — one whole panel of Fig. 5."""
+    stats = benchmark(error_statistics, 8)
+    assert stats["proposed"].std[-1] < stats["halton"].std[-1] < stats["lfsr"].std[-1]

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 7 — MAC-array area/latency/energy comparison."""
+
+from repro.analysis import laplace_weights_for_target_latency
+from repro.hw import compare_mac_arrays
+
+
+def test_fig7_cifar_setting(benchmark):
+    weights = laplace_weights_for_target_latency(7.7, 9)
+    cmp = benchmark(compare_mac_arrays, weights, 9)
+    ratios = cmp["ratios"]
+    # the paper's headline: 300x~490x vs conventional SC (wide band here)
+    assert 150 <= ratios["energy_gain_vs_conv_sc"] <= 1000
+    assert ratios["energy_gain_vs_binary"] > 1.0
+
+
+def test_fig7_mnist_setting(benchmark):
+    weights = laplace_weights_for_target_latency(2.6, 5)
+    cmp = benchmark(compare_mac_arrays, weights, 5)
+    assert 15 <= cmp["ratios"]["energy_gain_vs_conv_sc"] <= 120
+
+
+def test_fig7_with_trained_weights(benchmark, digits_model):
+    from repro.experiments.fig7_mac_array import trained_conv_weights
+    from repro.experiments import DIGITS_QUICK_SPEC
+
+    weights = trained_conv_weights(DIGITS_QUICK_SPEC)
+    cmp = benchmark(compare_mac_arrays, weights, 5)
+    assert cmp["ratios"]["energy_gain_vs_conv_sc"] > 5

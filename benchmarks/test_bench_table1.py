@@ -1,0 +1,44 @@
+"""Benchmark: Table 1 — the signed BISC multiplier.
+
+Measures the scalar closed form, the vectorized form and the
+cycle-accurate RTL on the paper's worked example and on exhaustive
+8-bit operand grids.
+"""
+
+import numpy as np
+
+from repro.core.rtl import ScMacRtl
+from repro.core.signed import bisc_multiply_signed
+from repro.experiments import table1_signed
+
+
+def test_table1_harness(benchmark):
+    """Regenerate (and verify) the paper's Table 1."""
+    traces = benchmark(table1_signed.run)
+    assert table1_signed.verify(traces)
+
+
+def test_scalar_closed_form(benchmark):
+    out = benchmark(bisc_multiply_signed, -100, 87, 9)
+    assert out == bisc_multiply_signed(-100, 87, 9)
+
+
+def test_vectorized_exhaustive_8bit(benchmark):
+    v = np.arange(-128, 128)
+
+    def run():
+        return bisc_multiply_signed(v[:, None], v[None, :], 8)
+
+    grid = benchmark(run)
+    assert grid.shape == (256, 256)
+
+
+def test_rtl_cycle_accurate(benchmark):
+    mac = ScMacRtl(8, acc_bits=4)
+
+    def run():
+        mac.reset()
+        return mac.run(-100, 87)
+
+    out = benchmark(run)
+    assert out == bisc_multiply_signed(-100, 87, 8)

@@ -1,0 +1,20 @@
+"""Benchmark: Table 2 — per-MAC area model."""
+
+from repro.experiments import table2_area
+from repro.hw import all_table2_designs
+
+
+def test_table2_harness(benchmark):
+    entries = benchmark(table2_area.run)
+    assert all(abs(e["relative_error"]) < 0.10 for e in entries)
+
+
+def test_design_assembly(benchmark):
+    designs = benchmark(all_table2_designs)
+    assert len(designs) == 12
+
+
+def test_breakdown_single_design(benchmark):
+    design = all_table2_designs()[-1]
+    bd = benchmark(design.breakdown)
+    assert bd["total"] > 0

@@ -1,0 +1,16 @@
+"""Benchmark: Table 3 — accelerator comparison table."""
+
+from repro.hw import proposed_entry, table3
+
+
+def test_table3_harness(benchmark):
+    rows = benchmark(table3)
+    assert rows[-1].label.startswith("Proposed")
+    # ours has the highest area efficiency in the table (Section 4.3.3)
+    assert rows[-1].gops_per_mm2 == max(r.gops_per_mm2 for r in rows)
+
+
+def test_proposed_row(benchmark):
+    entry = benchmark(proposed_entry)
+    assert 0.03 < entry.area_mm2 < 0.12
+    assert entry.gops > 200

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Error resilience demo — the paper's named future work, runnable.
+
+Injects transient single-bit upsets into the binary multiplier's
+product word and into the proposed multiplier's bitstream at matched
+per-operation rates, then shows the corruption statistics and a small
+"image through a faulty datapath" visual: the same convolution kernel
+applied with both arithmetics under a 1% upset rate.
+
+Run:  python examples/fault_injection.py
+"""
+
+import numpy as np
+
+from repro.analysis.resilience import (
+    FaultConfig,
+    inject_binary_product_faults,
+    inject_stream_faults,
+    resilience_sweep,
+)
+from repro.datasets import make_digits
+
+_SHADES = " .:-=+*#%@"
+
+
+def render(img: np.ndarray) -> str:
+    """Robust-normalized ASCII: outliers clip instead of washing out."""
+    lo, hi = np.percentile(img, [2, 98])
+    span = (hi - lo) or 1.0
+    clipped = np.clip(img, lo, hi)
+    idx = ((clipped - lo) / span * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    n = 8
+    print("corruption statistics (4000 random multiplies per rate):")
+    print(f"{'rate':>6s} {'binary RMS':>11s} {'ours RMS':>9s} {'binary max':>11s} {'ours max':>9s}")
+    for r in resilience_sweep(n_bits=n):
+        print(
+            f"{r['upset_probability']:6.0e} {r['rms_corruption_binary_lsb']:11.3f} "
+            f"{r['rms_corruption_proposed_lsb']:9.3f} {r['max_corruption_binary_lsb']:11.1f} "
+            f"{r['max_corruption_proposed_lsb']:9.1f}"
+        )
+
+    # visual: blur a digit through faulty multipliers
+    ds = make_digits(n_train=1, n_test=0, seed=9)
+    img = ds.x_train[0, 0]
+    x_int = np.clip(np.rint(img * 127), -128, 127).astype(np.int64)
+    w_int = np.int64(90)  # a 0.7 gain "kernel"
+    cfg = FaultConfig(n_bits=n, upset_probability=0.01, seed=1)
+    noisy_bin = inject_binary_product_faults(np.full(x_int.shape, w_int), x_int, cfg)
+    noisy_sc = inject_stream_faults(np.full(x_int.shape, w_int), x_int, cfg)
+    print("\nscaled digit through a 1%-upset BINARY multiplier:")
+    print(render(noisy_bin))
+    print("\nsame datapath, proposed SC multiplier:")
+    print(render(noisy_sc.astype(float)))
+    print("\nBinary word upsets produce salt-and-pepper outliers (MSB flips);")
+    print("SC stream upsets perturb every pixel by at most a couple of LSBs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hardware design-space exploration with the calibrated cost model.
+
+Sweeps multiplier precision x bit-parallelism for the proposed BISC-MVM
+array and prints area / average latency / energy / ADP next to the
+fixed-point and conventional-SC baselines — the exploration a designer
+would run before committing to an operating point (Fig. 7 / Table 2 /
+Table 3 in one view).
+
+Run:  python examples/hardware_design_space.py
+"""
+
+import numpy as np
+
+from repro.analysis import laplace_weights_for_target_latency, weight_latency_stats
+from repro.hw import (
+    MacArray,
+    avg_mac_cycles_from_weights,
+    fixed_point_mac,
+    lfsr_sc_mac,
+    proposed_mac,
+    table3,
+)
+
+
+def main() -> None:
+    # Bell-shaped weights matched to the paper's reported CIFAR latency.
+    weights = laplace_weights_for_target_latency(7.7, 9)
+    print("weight population:", weight_latency_stats(weights, 9).as_dict(), "\n")
+
+    print("proposed BISC-MVM design space (256 MACs, 16 lanes/MVM, 1 GHz)")
+    print(f"{'N':>2s} {'b':>3s} {'area mm^2':>10s} {'cyc/MAC':>8s} {'pJ/MAC':>8s} {'ADP':>9s}")
+    for n in (5, 7, 9):
+        for b in (1, 4, 8, 16):
+            if b > (1 << n):
+                continue
+            arr = MacArray(proposed_mac(n, bit_parallel=b), size=256, lanes=16)
+            cyc = avg_mac_cycles_from_weights(weights, n, b)
+            s = arr.summary(cyc)
+            print(
+                f"{n:2d} {b:3d} {s['area_mm2']:10.4f} {s['avg_mac_cycles']:8.3f} "
+                f"{s['energy_per_mac_pj']:8.4f} {s['adp_um2_cycles']:9.1f}"
+            )
+
+    print("\nbaselines at N=9:")
+    for label, design, cyc in (
+        ("fixed-point", fixed_point_mac(9), None),
+        ("conv. SC (LFSR)", lfsr_sc_mac(9), None),
+    ):
+        s = MacArray(design, 256, 16).summary(cyc)
+        print(
+            f"  {label:16s} area {s['area_mm2']:.4f} mm^2, "
+            f"{s['avg_mac_cycles']:6.1f} cyc/MAC, {s['energy_per_mac_pj']:.4f} pJ/MAC"
+        )
+
+    print("\nTable 3 (GOPS comparison with published accelerators):")
+    for e in table3():
+        print(
+            f"  {e.label:28s} {e.gops:8.2f} GOPS  {e.gops_per_mm2:9.1f} GOPS/mm^2 "
+            f"{e.gops_per_w:10.1f} GOPS/W"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The classic SC application the paper's intro cites: edge detection.
+
+Runs the Roberts-cross edge detector (Alaghi & Hayes, DATE'14 — the
+paper's reference [2]) on a synthetic digit image, entirely with
+stochastic bitstreams: correlated-stream XOR subtractors and a MUX
+adder.  Renders input and edge maps as ASCII and reports accuracy vs
+stream length for an LFSR source and a low-discrepancy source.
+
+Run:  python examples/sc_edge_detection.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_digits
+from repro.sc.apps import edge_detection_error, roberts_cross_exact, roberts_cross_sc
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_render(img: np.ndarray) -> str:
+    lo, hi = img.min(), img.max()
+    span = (hi - lo) or 1.0
+    idx = ((img - lo) / span * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    ds = make_digits(n_train=1, n_test=0, seed=4)
+    img = (ds.x_train[0, 0] + 1.0) / 2.0  # [-1,1] -> [0,1]
+
+    print("input (synthetic digit, class %d):" % ds.y_train[0])
+    print(ascii_render(img))
+
+    exact = roberts_cross_exact(img)
+    sc = roberts_cross_sc(img, n_bits=8)
+    print("\nstochastic edge map (full-length streams):")
+    print(ascii_render(sc))
+    rms = float(np.sqrt(((sc - exact) ** 2).mean()))
+    print(f"\nRMS error vs exact Roberts cross: {rms:.4f}")
+
+    print("\naccuracy vs stream length and random source:")
+    print(f"{'length':>7s} {'lfsr':>8s} {'sobol':>8s}")
+    rows = edge_detection_error(img, n_bits=8, lengths=(8, 32, 128, 256))
+    by_len: dict[float, dict[str, float]] = {}
+    for r in rows:
+        by_len.setdefault(r["length"], {})[r["source"]] = r["rms_error"]
+    for length, srcs in sorted(by_len.items()):
+        print(f"{int(length):7d} {srcs['lfsr']:8.4f} {srcs['sobol']:8.4f}")
+    print("\nThe low-discrepancy source reaches the same quality with far")
+    print("shorter streams — the same effect the paper's FSM generator")
+    print("exploits inside its multiplier.")
+
+
+if __name__ == "__main__":
+    main()

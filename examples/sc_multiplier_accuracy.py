@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fig. 5 as an interactive study: multiplier error vs stream length.
+
+Computes exhaustive running error statistics (all operand pairs) for
+the four multiplier schemes and renders the std curves as ASCII plots —
+the shape of Fig. 5 in your terminal.
+
+Run:  python examples/sc_multiplier_accuracy.py [n_bits]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import convergence_summary, error_statistics
+
+
+def ascii_curve(values: np.ndarray, width: int = 44) -> str:
+    """Log-scale bar per checkpoint."""
+    floor = 1e-5
+    logs = np.log10(np.maximum(np.asarray(values), floor))
+    lo, hi = np.log10(floor), 0.0
+    bars = []
+    for v, lg in zip(values, logs):
+        filled = int((lg - lo) / (hi - lo) * width)
+        bars.append("#" * max(filled, 1) + f" {v:.5f}")
+    return "\n".join(bars)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    print(f"Exhaustive error statistics at {n}-bit precision "
+          f"({(1 << n) ** 2} operand pairs per method)\n")
+    stats = error_statistics(n)
+
+    for method, s in stats.items():
+        print(f"--- {method} --- (rows: error std at cycle 2^x, log scale)")
+        print(ascii_curve(s.std))
+        print(
+            f"final: std {s.std[-1]:.5f}, max|err| {s.max_abs[-1]:.5f}, "
+            f"mean {s.mean[-1]:+.5f}\n"
+        )
+
+    print("Convergence summary (cycles to reach the best conventional std):")
+    for method, row in convergence_summary(stats).items():
+        c = row["cycles_to_target"]
+        print(f"  {method:9s}: {'never' if c == float('inf') else int(c)}")
+
+    best_conv = min(s.std[-1] for m, s in stats.items() if m != "proposed")
+    ratio = best_conv / stats["proposed"].std[-1]
+    print(
+        f"\nThe proposed multiplier's final std is {ratio:.1f}x below the best "
+        "conventional SC method — the paper's Fig. 5 claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of Sim & Lee, "A New Stochastic Computing
+Multiplier with Application to Deep Convolutional Neural Networks"
+(DAC 2017).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: FSM+MUX low-discrepancy generator, the
+    BISC multiplier / SC-MAC (bit-serial, signed, bit-parallel), the
+    BISC-MVM vector unit, convolution mapping, and register-level
+    simulators.
+``repro.sc``
+    Conventional stochastic-computing substrate and baselines (LFSR,
+    Halton, even-distribution SNGs; AND/XNOR multipliers; counters).
+``repro.nn``
+    A small CNN framework (the Caffe stand-in) with pluggable
+    fixed-point and SC convolution engines and fine-tuning.
+``repro.datasets``
+    Deterministic synthetic stand-ins for MNIST and CIFAR-10.
+``repro.hw``
+    Gate-level area/power/latency/energy models (the Synopsys stand-in)
+    for MACs, MAC arrays and whole accelerators.
+``repro.analysis``
+    Error statistics and weight-distribution analyses.
+``repro.experiments``
+    One harness per table/figure of the paper.
+"""
+
+from repro.core import (
+    BiscMvm,
+    bisc_multiply_signed,
+    bisc_multiply_unsigned,
+    multiply_latency,
+    sc_matmul,
+)
+from repro.sc import dequantize_signed, quantize_signed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bisc_multiply_signed",
+    "bisc_multiply_unsigned",
+    "multiply_latency",
+    "sc_matmul",
+    "BiscMvm",
+    "quantize_signed",
+    "dequantize_signed",
+    "__version__",
+]

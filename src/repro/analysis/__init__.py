@@ -1,0 +1,51 @@
+"""Analysis utilities: multiplier error statistics (Fig. 5), weight /
+latency distributions (Section 3.2), convergence metrics."""
+
+from repro.analysis.error_stats import (
+    METHODS,
+    ErrorStats,
+    conventional_error_stats,
+    error_statistics,
+    proposed_error_stats,
+)
+from repro.analysis.weight_stats import (
+    WeightLatencyStats,
+    laplace_weights_for_target_latency,
+    network_weight_stats,
+    weight_latency_stats,
+)
+from repro.analysis.convergence import convergence_summary, cycles_to_reach
+from repro.analysis.correlation import (
+    PairCorrelation,
+    correlation_error_scan,
+    scc_matrix,
+    shared_source_penalty,
+)
+from repro.analysis.resilience import (
+    FaultConfig,
+    inject_binary_product_faults,
+    inject_stream_faults,
+    resilience_sweep,
+)
+
+__all__ = [
+    "ErrorStats",
+    "METHODS",
+    "error_statistics",
+    "proposed_error_stats",
+    "conventional_error_stats",
+    "WeightLatencyStats",
+    "weight_latency_stats",
+    "network_weight_stats",
+    "laplace_weights_for_target_latency",
+    "convergence_summary",
+    "cycles_to_reach",
+    "PairCorrelation",
+    "scc_matrix",
+    "shared_source_penalty",
+    "correlation_error_scan",
+    "FaultConfig",
+    "inject_binary_product_faults",
+    "inject_stream_faults",
+    "resilience_sweep",
+]

@@ -1,0 +1,51 @@
+"""Convergence analysis of SC multipliers.
+
+Fig. 5 "shows not only the statistics at the end of the bitstream, but
+also how fast the output converges"; this module reduces the running
+statistics to scalar convergence metrics (cycles needed to reach an
+error target), which the Fig. 5 harness reports alongside the curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.error_stats import ErrorStats
+
+__all__ = ["cycles_to_reach", "convergence_summary"]
+
+
+def cycles_to_reach(stats: ErrorStats, std_target: float) -> float:
+    """First checkpoint (in cycles) whose error std is <= the target.
+
+    Returns ``inf`` if the target is never reached.  For the proposed
+    method checkpoints are nominal (its multiplies finish early; see
+    :mod:`repro.analysis.error_stats`).
+    """
+    hits = np.nonzero(stats.std <= std_target)[0]
+    if hits.size == 0:
+        return float("inf")
+    return float(stats.checkpoints[hits[0]])
+
+
+def convergence_summary(
+    all_stats: dict[str, ErrorStats], std_target: float | None = None
+) -> dict[str, dict[str, float]]:
+    """Per-method final stats plus cycles-to-target.
+
+    The default target is the final error std of the *best conventional*
+    method, so the summary answers "how much sooner does each method
+    reach conventional-SC quality".
+    """
+    if std_target is None:
+        conventional = [s for name, s in all_stats.items() if name != "proposed"]
+        if not conventional:
+            raise ValueError("need at least one conventional method for a default target")
+        std_target = min(float(s.std[-1]) for s in conventional)
+    out: dict[str, dict[str, float]] = {}
+    for name, stats in all_stats.items():
+        summary = stats.final()
+        summary["cycles_to_target"] = cycles_to_reach(stats, std_target)
+        summary["target_std"] = std_target
+        out[name] = summary
+    return out

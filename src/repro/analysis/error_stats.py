@@ -1,0 +1,173 @@
+"""Running error statistics of SC multipliers — the machinery of Fig. 5.
+
+For each multiplier scheme and every representable signed operand pair
+``(w, x)``, we track the best available estimate of ``w * x`` after
+``2**x_axis`` cycles and report the mean / standard deviation / max
+absolute error across all pairs (the paper's three curve families).
+
+Estimates, all in the value domain (operands in ``[-1, 1)``):
+
+* conventional bipolar SC (LFSR / Halton / ED): the up/down count over
+  the first ``T`` cycles divided by ``T``;
+* the proposed multiplier: ``w_q * x_hat(c)`` where ``x_hat(c)`` is the
+  stream value estimate after ``c = ceil(|w_int| * T / 2**N)`` cycles —
+  the paper's footnote 2 ("for our proposed method, at cycle
+  ``|w| / 2**(N-x)``"), since one multiply only lasts ``|w_int|``
+  cycles in total.
+
+The error reference is the double-precision fixed-point product
+``w_int * x_int / 2**(2N-2)`` ("the fixed-point multiplication result
+without rounding").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fsm_generator import coefficient_vector
+from repro.sc.ed import even_distribution_stream
+from repro.sc.encoding import bits_msb_first
+from repro.sc.halton import halton_int_sequence
+from repro.sc.lfsr import Lfsr
+from repro.sc.multipliers import (
+    pairwise_partial_counts_from_streams,
+    select_low_bias_seeds,
+)
+
+__all__ = ["ErrorStats", "METHODS", "error_statistics", "proposed_error_stats", "conventional_error_stats"]
+
+METHODS = ("lfsr", "halton", "ed", "proposed")
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Running error statistics of one multiplier at given checkpoints."""
+
+    method: str
+    n_bits: int
+    checkpoints: np.ndarray  #: nominal cycle counts (powers of two)
+    mean: np.ndarray
+    std: np.ndarray
+    max_abs: np.ndarray
+
+    def final(self) -> dict[str, float]:
+        """Statistics at the end of the stream (the full multiply)."""
+        return {
+            "mean": float(self.mean[-1]),
+            "std": float(self.std[-1]),
+            "max_abs": float(self.max_abs[-1]),
+        }
+
+
+def _signed_grid(n_bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All signed operand values, their value-domain floats, references."""
+    half = 1 << (n_bits - 1)
+    ints = np.arange(-half, half, dtype=np.int64)
+    vals = ints / half
+    ref = vals[:, None] * vals[None, :]  # (w, x) double-precision product
+    return ints, vals, ref
+
+
+def proposed_error_stats(n_bits: int, checkpoints: np.ndarray | None = None) -> ErrorStats:
+    """Exhaustive running error of the proposed multiplier (deterministic).
+
+    Fully closed form: at nominal checkpoint ``T`` the multiply for
+    weight magnitude ``k`` has run ``c = ceil(k * T / 2**N)`` cycles and
+    its stream estimate is ``(2 * P_c - c) / c``.
+    """
+    half = 1 << (n_bits - 1)
+    if checkpoints is None:
+        checkpoints = 2 ** np.arange(0, n_bits + 1, dtype=np.int64)
+    checkpoints = np.asarray(checkpoints, dtype=np.int64)
+    ints, vals, ref = _signed_grid(n_bits)
+    offsets = ints + half  # offset-binary words of x
+    bits = bits_msb_first(offsets, n_bits).T.astype(np.float64)  # (N, X)
+    k = np.abs(ints)  # per-weight cycle budget, (W,)
+    mean = np.empty(checkpoints.size)
+    std = np.empty(checkpoints.size)
+    max_abs = np.empty(checkpoints.size)
+    for ci, t in enumerate(checkpoints):
+        c = np.ceil(k * (int(t) / (1 << n_bits))).astype(np.int64)  # cycles run
+        coeff = coefficient_vector(c, n_bits).astype(np.float64)  # (W, N)
+        ones = coeff @ bits  # (W, X) partial sums P_c
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_hat = (2.0 * ones - c[:, None]) / c[:, None]
+        est = vals[:, None] * x_hat
+        est = np.where(c[:, None] == 0, 0.0, est)  # w == 0 multiplies are exact
+        err = est - ref
+        mean[ci] = err.mean()
+        std[ci] = err.std()
+        max_abs[ci] = np.abs(err).max()
+    return ErrorStats("proposed", n_bits, checkpoints, mean, std, max_abs)
+
+
+def _stream_matrix(method: str, n_bits: int, operand: str, length: int) -> np.ndarray:
+    """Stream bits for every offset word, shape ``(2**N, length)``."""
+    size = 1 << n_bits
+    offsets = np.arange(size, dtype=np.int64)
+    if method == "lfsr":
+        seed_w, seed_x = select_low_bias_seeds(n_bits)
+        lfsr = Lfsr(
+            n_bits,
+            seed=seed_w if operand == "w" else seed_x,
+            alternate=(operand == "x"),
+        )
+        rand = lfsr.sequence(length)
+        return (rand[None, :] < offsets[:, None]).astype(np.int64)
+    if method == "halton":
+        base = 3 if operand == "w" else 2  # paper footnote 3
+        rand = halton_int_sequence(length, base, n_bits)
+        return (rand[None, :] < offsets[:, None]).astype(np.int64)
+    if method == "ed":
+        if operand == "w":
+            return np.stack(
+                [even_distribution_stream(int(v), n_bits, length) for v in offsets]
+            )
+        rand = Lfsr(n_bits, seed=1, alternate=True).sequence(length)
+        return (rand[None, :] < offsets[:, None]).astype(np.int64)
+    raise ValueError(f"unknown conventional method {method!r}")
+
+
+def conventional_error_stats(
+    method: str, n_bits: int, checkpoints: np.ndarray | None = None
+) -> ErrorStats:
+    """Exhaustive running error of a conventional bipolar SC multiplier."""
+    if checkpoints is None:
+        checkpoints = 2 ** np.arange(0, n_bits + 1, dtype=np.int64)
+    checkpoints = np.asarray(checkpoints, dtype=np.int64)
+    length = 1 << n_bits
+    bits_w = _stream_matrix(method, n_bits, "w", length)
+    bits_x = _stream_matrix(method, n_bits, "x", length)
+    counts = pairwise_partial_counts_from_streams(bits_w, bits_x, checkpoints)
+    _, _, ref = _signed_grid(n_bits)
+    mean = np.empty(checkpoints.size)
+    std = np.empty(checkpoints.size)
+    max_abs = np.empty(checkpoints.size)
+    for ci, t in enumerate(checkpoints):
+        est = (2.0 * counts["ones"][ci] - int(t)) / int(t)
+        err = est - ref
+        mean[ci] = err.mean()
+        std[ci] = err.std()
+        max_abs[ci] = np.abs(err).max()
+    return ErrorStats(method, n_bits, checkpoints, mean, std, max_abs)
+
+
+def error_statistics(
+    n_bits: int,
+    methods: tuple[str, ...] = METHODS,
+    checkpoints: np.ndarray | None = None,
+) -> dict[str, ErrorStats]:
+    """Fig. 5 data: running error statistics for all requested methods.
+
+    Note the paper applies ED to the 10-bit case only (its generator
+    emits 32 bits/cycle); we impose no such restriction here.
+    """
+    out: dict[str, ErrorStats] = {}
+    for method in methods:
+        if method == "proposed":
+            out[method] = proposed_error_stats(n_bits, checkpoints)
+        else:
+            out[method] = conventional_error_stats(method, n_bits, checkpoints)
+    return out

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``multiply``   one signed BISC multiply with its trace and latency
+``experiment`` run a named experiment harness (or ``all``)
+``rtl``        emit the Verilog RTL project
+``info``       version, experiment list, benchmark specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENT_NAMES = (
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table2",
+    "table3",
+    "ablation-stream",
+    "ablation-parallelism",
+    "ablation-accumulator",
+    "ablation-energy-quality",
+    "resilience",
+    "network-performance",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Sim & Lee, 'A New Stochastic Computing "
+        "Multiplier with Application to Deep CNNs' (DAC 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mul = sub.add_parser("multiply", help="one signed BISC multiply with trace")
+    p_mul.add_argument("w", type=int, help="weight, two's-complement integer")
+    p_mul.add_argument("x", type=int, help="data, two's-complement integer")
+    p_mul.add_argument("--n-bits", type=int, default=8, help="precision incl. sign")
+
+    p_exp = sub.add_parser("experiment", help="run a table/figure harness")
+    p_exp.add_argument("name", choices=_EXPERIMENT_NAMES)
+    p_exp.add_argument("--quick", action="store_true", help="CI-sized presets")
+
+    p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
+    p_rtl.add_argument("--out", default="rtl", help="output directory")
+    p_rtl.add_argument("--n-bits", type=int, default=8)
+    p_rtl.add_argument("--acc-bits", type=int, default=2)
+    p_rtl.add_argument("--lanes", type=int, default=16)
+
+    sub.add_parser("info", help="version and available experiments")
+    return parser
+
+
+def _cmd_multiply(args: argparse.Namespace) -> int:
+    from repro.core.signed import multiply_latency, signed_multiply_details
+
+    t = signed_multiply_details(args.w, args.x, args.n_bits)
+    print(f"w = {t.w_int}/2^{args.n_bits - 1}, x = {t.x_int}/2^{args.n_bits - 1}")
+    print(f"offset word : {t.offset_word:0{args.n_bits}b}")
+    stream = "".join(map(str, t.mux_bits))
+    print(f"MUX out     : {stream if len(stream) <= 64 else stream[:64] + '...'}")
+    print(f"counter     : {t.counter}  (reference {t.reference:+.4f}, error {t.error:+.4f})")
+    print(f"latency     : {multiply_latency(args.w, args.n_bits)} cycles "
+          f"(conventional SC: {1 << args.n_bits})")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablation_accumulator,
+        ablation_energy_quality,
+        ablation_parallelism,
+        ablation_stream,
+        fig5_error,
+        fig6_accuracy,
+        fig7_mac_array,
+        network_performance,
+        resilience_study,
+        table1_signed,
+        table2_area,
+        table3_accel,
+    )
+    from repro.experiments.runner import run_all
+
+    dispatch = {
+        "table1": lambda: table1_signed.main(),
+        "fig5": lambda: fig5_error.main((5,) if args.quick else (5, 10)),
+        "fig6": lambda: fig6_accuracy.main(quick=args.quick),
+        "fig7": lambda: fig7_mac_array.main(),
+        "table2": lambda: table2_area.main(),
+        "table3": lambda: table3_accel.main(),
+        "ablation-stream": lambda: ablation_stream.main(6 if args.quick else 8),
+        "ablation-parallelism": lambda: ablation_parallelism.main(),
+        "ablation-accumulator": lambda: ablation_accumulator.main(),
+        "ablation-energy-quality": lambda: ablation_energy_quality.main(),
+        "resilience": lambda: resilience_study.main(),
+        "network-performance": lambda: network_performance.main(),
+        "all": lambda: run_all(quick=args.quick),
+    }
+    dispatch[args.name]()
+    return 0
+
+
+def _cmd_rtl(args: argparse.Namespace) -> int:
+    from repro.core.verilog import write_rtl_project
+
+    files = write_rtl_project(args.out, args.n_bits, args.acc_bits, args.lanes)
+    for f in files:
+        print(f"wrote {f}")
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import repro
+    from repro.experiments.common import DIGITS_SPEC, SHAPES_SPEC
+
+    print(f"repro {repro.__version__} — DAC'17 SC-multiplier reproduction")
+    print("experiments:", ", ".join(n for n in _EXPERIMENT_NAMES if n != "all"))
+    for spec in (DIGITS_SPEC, SHAPES_SPEC):
+        print(f"benchmark {spec.name}: {spec.dataset}, {spec.n_train} train images")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "multiply": _cmd_multiply,
+        "experiment": _cmd_experiment,
+        "rtl": _cmd_rtl,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

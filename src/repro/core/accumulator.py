@@ -1,0 +1,57 @@
+"""Accumulators for BISC-MVM lanes.
+
+The paper gives every SC-MAC lane a saturating up/down counter of
+``N + A`` bits (``A`` accumulation-headroom bits; experiments use
+``A = 2``).  This module provides a vectorized array of such counters —
+one per MVM lane — in output-LSB units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc.counters import SaturatingUpDownCounter, saturating_accumulate, saturating_add
+
+__all__ = ["SaturatingAccumulatorArray", "SaturatingUpDownCounter", "saturating_accumulate", "saturating_add"]
+
+
+class SaturatingAccumulatorArray:
+    """A bank of ``p`` saturating up/down counters of equal width.
+
+    Counts are in output-LSB (``2**-(N-1)``) units; width is
+    ``n_bits + acc_bits`` as in the paper.
+    """
+
+    def __init__(self, p: int, n_bits: int, acc_bits: int = 2) -> None:
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.p = p
+        self.width = n_bits + acc_bits
+        self.lo = -(1 << (self.width - 1))
+        self.hi = (1 << (self.width - 1)) - 1
+        self.values = np.zeros(p, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.values[:] = 0
+
+    def step(self, bits: np.ndarray, direction_up: np.ndarray | int = 1) -> np.ndarray:
+        """Clock all lanes one cycle: +1 where ``bit`` is 1, else -1.
+
+        ``direction_up`` can flip individual lanes (unused by the MVM,
+        where the shared sign XOR is applied to the bits beforehand).
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.shape != (self.p,):
+            raise ValueError(f"expected {self.p} lane bits, got shape {bits.shape}")
+        delta = 2 * bits - 1
+        direction = np.asarray(direction_up, dtype=np.int64)
+        if direction.ndim or int(direction) != 1:
+            delta = delta * (2 * direction - 1)
+        self.values = np.clip(self.values + delta, self.lo, self.hi)
+        return self.values
+
+    def add(self, delta: np.ndarray) -> np.ndarray:
+        """Saturating add of per-lane amounts (bit-parallel columns)."""
+        self.values = np.clip(self.values + np.asarray(delta, dtype=np.int64), self.lo, self.hi)
+        return self.values

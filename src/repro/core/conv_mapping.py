@@ -1,0 +1,182 @@
+"""Mapping convolution layers onto BISC-MVMs (Sections 3.2-3.3).
+
+The convolution loop nest (Fig. 4) is tiled along the output feature
+map (``T_M``), output height (``T_R``) and output width (``T_C``); the
+three innermost loops run fully unrolled on ``T_M * T_R * T_C`` MAC
+units.  Every group of ``T_R * T_C`` MACs shares one weight, so each
+group is one BISC-MVM with ``p = T_R * T_C`` lanes and reduction depth
+``d = K * K * Z``.
+
+The per-tile latency of output channel ``m`` is the paper's
+
+    t_m = sum_{z,i,j} |2**(N-1) W[m][z][i][j]|        (bit-serial)
+
+divided by ``b`` (ceiling, per weight) for bit-parallel designs.  A
+tile of ``T_M`` channels finishes when its slowest channel does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sc.encoding import quantize_signed
+
+__all__ = [
+    "TilingConfig",
+    "AcceleratorConfig",
+    "conv_layer_macs",
+    "conv_output_shape",
+    "conv_layer_cycles",
+    "binary_layer_cycles",
+    "conventional_sc_layer_cycles",
+]
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """Loop tiling of Fig. 4: unroll factors of the three inner loops."""
+
+    t_m: int = 16  #: output-feature-map tile (parallel BISC-MVMs)
+    t_r: int = 4  #: output-height tile
+    t_c: int = 4  #: output-width tile
+
+    def __post_init__(self) -> None:
+        if min(self.t_m, self.t_r, self.t_c) < 1:
+            raise ValueError("tile sizes must be >= 1")
+
+    @property
+    def mac_count(self) -> int:
+        """Total MAC units: ``T_M * T_R * T_C``."""
+        return self.t_m * self.t_r * self.t_c
+
+    @property
+    def lanes_per_mvm(self) -> int:
+        """Lanes sharing one weight: ``p = T_R * T_C``."""
+        return self.t_r * self.t_c
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete SC-CNN accelerator operating point."""
+
+    n_bits: int = 8  #: multiplier precision, sign included
+    acc_bits: int = 2  #: accumulation headroom A
+    bit_parallel: int = 1  #: b of Section 2.5 (1 = bit-serial)
+    tiling: TilingConfig = field(default_factory=TilingConfig)
+    clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 2:
+            raise ValueError("n_bits must be >= 2 (sign + magnitude)")
+        if self.bit_parallel < 1:
+            raise ValueError("bit_parallel must be >= 1")
+
+
+def conv_output_shape(
+    in_h: int, in_w: int, kernel: int, stride: int = 1, pad: int = 0
+) -> tuple[int, int]:
+    """Output height/width of a convolution layer."""
+    out_h = (in_h + 2 * pad - kernel) // stride + 1
+    out_w = (in_w + 2 * pad - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel does not fit in the padded input")
+    return out_h, out_w
+
+
+def conv_layer_macs(weights: np.ndarray, out_h: int, out_w: int) -> int:
+    """MAC operations in one conv layer: ``M * Z * K * K * R * C``."""
+    m = weights.shape[0]
+    d = int(np.prod(weights.shape[1:]))
+    return m * d * out_h * out_w
+
+
+def _weight_cycles(weights_int: np.ndarray, bit_parallel: int) -> np.ndarray:
+    """Per-output-channel cycle counts ``t_m = sum ceil(|w|/b)``."""
+    k = np.abs(weights_int.reshape(weights_int.shape[0], -1))
+    return (-(-k // bit_parallel)).sum(axis=1)
+
+
+def conv_layer_cycles(
+    weights: np.ndarray,
+    out_h: int,
+    out_w: int,
+    config: AcceleratorConfig,
+    quantized: bool = False,
+) -> dict[str, float]:
+    """Latency of one conv layer on the proposed accelerator.
+
+    Parameters
+    ----------
+    weights:
+        Layer weights of shape ``(M, Z, K, K)``; floats in ``[-1, 1)``
+        unless ``quantized`` is true (then ``n_bits``-bit integers).
+
+    Returns
+    -------
+    dict with ``cycles`` (total layer latency), ``avg_mac_cycles``
+    (average cycles per MAC — the Fig. 7 "delay" metric),
+    ``macs`` and ``tiles``.
+
+    Notes
+    -----
+    Tiles along R and C are ``ceil(R/T_R) * ceil(C/T_C)``; channel
+    groups along M are ``ceil(M/T_M)`` and a group's latency is the max
+    of its members' ``t_m`` (MVMs run in lockstep until the slowest
+    weight sequence drains).
+    """
+    w_int = weights if quantized else quantize_signed(weights, config.n_bits)
+    w_int = np.asarray(w_int, dtype=np.int64)
+    m = w_int.shape[0]
+    tiling = config.tiling
+    t_per_channel = _weight_cycles(w_int, config.bit_parallel)
+
+    spatial_tiles = math.ceil(out_h / tiling.t_r) * math.ceil(out_w / tiling.t_c)
+    group_cycles = 0
+    for g in range(0, m, tiling.t_m):
+        group_cycles += int(t_per_channel[g : g + tiling.t_m].max())
+    total = group_cycles * spatial_tiles
+    macs = conv_layer_macs(w_int, out_h, out_w)
+    # Cycles per MAC *slot*; idle lanes at tile edges are accounted in macs.
+    return {
+        "cycles": float(total),
+        "avg_mac_cycles": float(t_per_channel.mean() / w_int[0].size),
+        "macs": float(macs),
+        "tiles": float(spatial_tiles * math.ceil(m / tiling.t_m)),
+    }
+
+
+def binary_layer_cycles(
+    weights: np.ndarray, out_h: int, out_w: int, config: AcceleratorConfig
+) -> dict[str, float]:
+    """Latency of the same layer on a fixed-point binary MAC array.
+
+    One MAC per cycle per unit: a tile costs ``d = Z*K*K`` cycles.
+    """
+    d = int(np.prod(weights.shape[1:]))
+    m = weights.shape[0]
+    tiling = config.tiling
+    spatial_tiles = math.ceil(out_h / tiling.t_r) * math.ceil(out_w / tiling.t_c)
+    total = d * math.ceil(m / tiling.t_m) * spatial_tiles
+    return {
+        "cycles": float(total),
+        "avg_mac_cycles": 1.0,
+        "macs": float(conv_layer_macs(weights, out_h, out_w)),
+        "tiles": float(spatial_tiles * math.ceil(m / tiling.t_m)),
+    }
+
+
+def conventional_sc_layer_cycles(
+    weights: np.ndarray, out_h: int, out_w: int, config: AcceleratorConfig
+) -> dict[str, float]:
+    """Latency on a conventional SC MAC array: ``2**N`` cycles per MAC."""
+    base = binary_layer_cycles(weights, out_h, out_w, config)
+    per_mac = float(1 << config.n_bits)
+    return {
+        "cycles": base["cycles"] * per_mac,
+        "avg_mac_cycles": per_mac,
+        "macs": base["macs"],
+        "tiles": base["tiles"],
+    }

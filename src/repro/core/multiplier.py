@@ -1,0 +1,79 @@
+"""Unsigned bit-serial BISC multiplier (Fig. 1(c), unipolar).
+
+The key idea of Section 2.2: after sorting the 1s of the ``w`` stream to
+the front, the AND gate passes exactly the first ``w`` bits of the ``x``
+stream, so the multiplier degenerates to *an SNG wired straight into a
+counter, enabled for* ``w`` *cycles* (a down counter loaded with ``w``).
+With the FSM+MUX stream of :mod:`repro.core.fsm_generator`, the result
+is the deterministic closed form ``P_w(x) = sum_i round(w/2**i) x_{N-i}``.
+
+Operands are unsigned magnitudes out of ``2**N``; the result
+approximates ``w * x / 2**N`` (the product in the same ``N``-bit scale)
+and takes ``w`` cycles instead of the conventional ``2**N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fsm_generator import FsmMuxGenerator, prefix_ones
+
+__all__ = ["bisc_multiply_unsigned", "unsigned_multiply_error_bound", "BiscMultiplierUnsigned"]
+
+
+def bisc_multiply_unsigned(w, x, n_bits: int):
+    """Closed-form unsigned BISC multiply.
+
+    Broadcasts over arrays.  ``w`` plays the multiplier role (it sets
+    the cycle count), ``x`` the multiplicand (it is streamed); the
+    algorithm is *not* symmetric in its error, though both orders
+    approximate the same product.
+
+    >>> bisc_multiply_unsigned(8, 8, 4)  # 0.5 * 0.5 = 0.25 -> 4/16
+    4
+    """
+    w_arr = np.asarray(w, dtype=np.int64)
+    if w_arr.size and (w_arr.min() < 0 or w_arr.max() > (1 << n_bits)):
+        raise ValueError(f"w out of [0, 2**{n_bits}]")
+    out = prefix_ones(x, w_arr, n_bits)
+    return out
+
+
+def unsigned_multiply_error_bound(n_bits: int) -> float:
+    """The paper's (loose) worst-case error bound, in result LSBs: N/2."""
+    return n_bits / 2.0
+
+
+class BiscMultiplierUnsigned:
+    """Cycle-accurate unsigned SC-MAC: FSM+MUX, down counter, up counter.
+
+    Consecutive :meth:`mac` calls accumulate into the same counter (the
+    "SC-MAC" behaviour of Section 2.2); :attr:`cycles` tracks total
+    latency, which is ``sum of w`` rather than ``terms * 2**N``.
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        self.n_bits = n_bits
+        self._fsm = FsmMuxGenerator(n_bits)
+        self.counter = 0
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Clear accumulator, cycle count and the FSM."""
+        self._fsm.reset()
+        self.counter = 0
+        self.cycles = 0
+
+    def mac(self, w: int, x: int) -> int:
+        """Accumulate ``w * x / 2**N``; costs ``w`` cycles."""
+        if not 0 <= w <= (1 << self.n_bits):
+            raise ValueError(f"w out of [0, 2**{self.n_bits}]")
+        if not 0 <= x < (1 << self.n_bits):
+            raise ValueError(f"x out of [0, 2**{self.n_bits})")
+        self._fsm.reset()  # pattern restarts with each loaded weight
+        remaining = w  # the down counter
+        while remaining > 0:
+            self.counter += self._fsm.step(x)
+            remaining -= 1
+            self.cycles += 1
+        return self.counter

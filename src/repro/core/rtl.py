@@ -1,0 +1,184 @@
+"""Register-level, clock-by-clock simulators of the proposed hardware.
+
+The paper implements its designs in Verilog RTL; these classes are the
+Python equivalent — every state element (FSM register, down counter,
+up/down counter, sign flop) is explicit, and :meth:`clock` advances one
+cycle.  Tests assert bit-exact agreement with the closed forms in
+:mod:`repro.core.signed` / :mod:`repro.core.mvm`, which is this
+reproduction's substitute for RTL-vs-model equivalence checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc.encoding import signed_range, to_offset_binary
+
+__all__ = ["FsmMuxRtl", "ScMacRtl", "BiscMvmRtl"]
+
+
+class FsmMuxRtl:
+    """The FSM of Fig. 2(a): an N-bit counter plus priority encoder.
+
+    The mux select is the index of the lowest set bit of the counter;
+    when the counter is zero (once per ``2**N`` cycles) no input bit is
+    selected.  Unlike :class:`repro.core.fsm_generator.FsmMuxGenerator`
+    this models the registers directly.
+    """
+
+    def __init__(self, n_bits: int) -> None:
+        self.n_bits = n_bits
+        self.count_reg = 1  # N-bit register, wraps at 2**N
+
+    def reset(self) -> None:
+        self.count_reg = 1
+
+    def clock(self) -> int:
+        """One cycle: output the select, then advance the register."""
+        sel = -1
+        if self.count_reg != 0:
+            low = self.count_reg & -self.count_reg
+            tz = low.bit_length() - 1
+            sel = self.n_bits - 1 - tz if tz < self.n_bits else -1
+        self.count_reg = (self.count_reg + 1) & ((1 << self.n_bits) - 1)
+        return sel
+
+
+class ScMacRtl:
+    """The complete signed SC-MAC of Sections 2.2-2.4, register level.
+
+    State: weight-sign flop, down counter (weight magnitude), offset
+    data register, shared FSM, saturating up/down accumulator.
+
+    Usage: :meth:`load` an operand pair, :meth:`clock` until
+    :attr:`busy` clears (or call :meth:`run`), read :attr:`accumulator`.
+    """
+
+    def __init__(self, n_bits: int, acc_bits: int = 2) -> None:
+        self.n_bits = n_bits
+        self.acc_width = n_bits + acc_bits
+        self.fsm = FsmMuxRtl(n_bits)
+        self.down_counter = 0
+        self.sign_ff = 0
+        self.data_reg = 0
+        self.accumulator = 0
+        self.total_cycles = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while the down counter has cycles left."""
+        return self.down_counter > 0
+
+    def reset(self) -> None:
+        """Full reset: accumulator, counters, FSM."""
+        self.fsm.reset()
+        self.down_counter = 0
+        self.sign_ff = 0
+        self.data_reg = 0
+        self.accumulator = 0
+        self.total_cycles = 0
+
+    def load(self, w_int: int, x_int: int) -> None:
+        """Latch a new operand pair (only when idle)."""
+        if self.busy:
+            raise RuntimeError("load while busy")
+        lo, hi = signed_range(self.n_bits)
+        if not (lo <= w_int <= hi and lo <= x_int <= hi):
+            raise ValueError(f"operands out of {self.n_bits}-bit signed range")
+        self.down_counter = abs(w_int)
+        self.sign_ff = 1 if w_int < 0 else 0
+        self.data_reg = to_offset_binary(x_int, self.n_bits)
+        self.fsm.reset()
+
+    def clock(self) -> None:
+        """Advance one cycle while busy."""
+        if not self.busy:
+            return
+        sel = self.fsm.clock()
+        bit = 0 if sel < 0 else (self.data_reg >> sel) & 1
+        bit ^= self.sign_ff
+        lo = -(1 << (self.acc_width - 1))
+        hi = (1 << (self.acc_width - 1)) - 1
+        self.accumulator = max(lo, min(hi, self.accumulator + (1 if bit else -1)))
+        self.down_counter -= 1
+        self.total_cycles += 1
+
+    def run(self, w_int: int, x_int: int) -> int:
+        """Load and clock one MAC to completion; return the accumulator."""
+        self.load(w_int, x_int)
+        while self.busy:
+            self.clock()
+        return self.accumulator
+
+
+class BiscMvmRtl:
+    """Register-level BISC-MVM: shared FSM + down counter, ``p`` lanes.
+
+    Each lane owns only a mux and a saturating up/down counter; the FSM,
+    the down counter and the sign flop are instantiated once — the
+    sharing that makes the vector unit cheaper per MAC (Table 2 vs
+    Fig. 7).
+    """
+
+    def __init__(self, n_bits: int, p: int, acc_bits: int = 2) -> None:
+        self.n_bits = n_bits
+        self.p = p
+        self.acc_width = n_bits + acc_bits
+        self.fsm = FsmMuxRtl(n_bits)
+        self.down_counter = 0
+        self.sign_ff = 0
+        self.data_regs = np.zeros(p, dtype=np.int64)
+        self.accumulators = np.zeros(p, dtype=np.int64)
+        self.total_cycles = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.down_counter > 0
+
+    def reset(self) -> None:
+        self.fsm.reset()
+        self.down_counter = 0
+        self.sign_ff = 0
+        self.data_regs[:] = 0
+        self.accumulators[:] = 0
+        self.total_cycles = 0
+
+    def load(self, w_int: int, x_vec) -> None:
+        """Latch a weight and a lane vector (only when idle)."""
+        if self.busy:
+            raise RuntimeError("load while busy")
+        lo, hi = signed_range(self.n_bits)
+        if not lo <= w_int <= hi:
+            raise ValueError(f"w_int out of {self.n_bits}-bit signed range")
+        x_vec = np.asarray(x_vec, dtype=np.int64)
+        if x_vec.shape != (self.p,):
+            raise ValueError(f"expected {self.p} lanes")
+        self.down_counter = abs(w_int)
+        self.sign_ff = 1 if w_int < 0 else 0
+        self.data_regs = to_offset_binary(x_vec, self.n_bits)
+        self.fsm.reset()
+
+    def clock(self) -> None:
+        if not self.busy:
+            return
+        sel = self.fsm.clock()
+        if sel < 0:
+            bits = np.zeros(self.p, dtype=np.int64)
+        else:
+            bits = (self.data_regs >> sel) & 1
+        bits = bits ^ self.sign_ff
+        lo = -(1 << (self.acc_width - 1))
+        hi = (1 << (self.acc_width - 1)) - 1
+        self.accumulators = np.clip(self.accumulators + (2 * bits - 1), lo, hi)
+        self.down_counter -= 1
+        self.total_cycles += 1
+
+    def run_sequence(self, w_ints, x_mat) -> np.ndarray:
+        """Accumulate ``sum_d w[d] * X[d, :]`` clock by clock."""
+        w_ints = np.asarray(w_ints, dtype=np.int64)
+        x_mat = np.asarray(x_mat, dtype=np.int64)
+        for w, x_vec in zip(w_ints, x_mat):
+            self.load(int(w), x_vec)
+            while self.busy:
+                self.clock()
+        return self.accumulators.copy()

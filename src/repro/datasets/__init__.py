@@ -1,0 +1,5 @@
+"""Synthetic dataset substrate (MNIST / CIFAR-10 stand-ins)."""
+
+from repro.datasets.synthetic import DIGIT_GLYPHS, Dataset, make_digits, make_shapes
+
+__all__ = ["Dataset", "make_digits", "make_shapes", "DIGIT_GLYPHS"]

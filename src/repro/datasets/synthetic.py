@@ -1,0 +1,164 @@
+"""Deterministic synthetic image-classification datasets.
+
+The session has no network access, so MNIST and CIFAR-10 are replaced
+by generated stand-ins (see DESIGN.md, "Substitutions"):
+
+* :func:`make_digits` — 28x28 grayscale renderings of a 10-digit glyph
+  font with position/scale/rotation jitter, stroke-intensity variation
+  and additive noise.  Like MNIST it is an *easy* task: a small CNN
+  saturates its accuracy, and 5-7 bit arithmetic suffices.
+* :func:`make_shapes` — 32x32 RGB images of 10 textured shape classes
+  with color, pose and noise nuisances plus distractor blobs.  Like
+  CIFAR-10 it is a *harder* task whose accuracy is far below 100% and
+  which needs 8-10 bit arithmetic — the regime where Fig. 6(c)-(d)
+  separates the multipliers.
+
+Both generators are pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["make_digits", "make_shapes", "Dataset", "DIGIT_GLYPHS"]
+
+
+#: 7x5 bitmap font, one string per digit class (``#`` = on pixel).
+DIGIT_GLYPHS = [
+    "#####|#...#|#...#|#...#|#...#|#...#|#####",  # 0
+    "..#..|.##..|..#..|..#..|..#..|..#..|#####",  # 1
+    "#####|....#|....#|#####|#....|#....|#####",  # 2
+    "#####|....#|....#|.####|....#|....#|#####",  # 3
+    "#...#|#...#|#...#|#####|....#|....#|....#",  # 4
+    "#####|#....|#....|#####|....#|....#|#####",  # 5
+    "#####|#....|#....|#####|#...#|#...#|#####",  # 6
+    "#####|....#|...#.|..#..|..#..|..#..|..#..",  # 7
+    "#####|#...#|#...#|#####|#...#|#...#|#####",  # 8
+    "#####|#...#|#...#|#####|....#|....#|#####",  # 9
+]
+
+
+class Dataset:
+    """A train/test split of images and integer labels."""
+
+    def __init__(self, x_train, y_train, x_test, y_test, name: str = "dataset") -> None:
+        self.x_train = np.asarray(x_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train, dtype=np.int64)
+        self.x_test = np.asarray(x_test, dtype=np.float64)
+        self.y_test = np.asarray(y_test, dtype=np.int64)
+        self.name = name
+
+    @property
+    def num_classes(self) -> int:
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Dataset({self.name}, train={self.x_train.shape}, test={self.x_test.shape})"
+        )
+
+
+def _glyph_array(digit: int) -> np.ndarray:
+    rows = DIGIT_GLYPHS[digit].split("|")
+    return np.array([[1.0 if ch == "#" else 0.0 for ch in row] for row in rows])
+
+
+def _render_digit(digit: int, rng: np.random.Generator) -> np.ndarray:
+    """One 28x28 digit image in [-1, 1] (background ~ -1)."""
+    glyph = _glyph_array(digit)
+    zoom = rng.uniform(2.2, 3.0)
+    img = ndimage.zoom(glyph, zoom, order=1)
+    img = ndimage.rotate(img, rng.uniform(-12.0, 12.0), order=1, reshape=False)
+    img = np.clip(img, 0.0, 1.0) * rng.uniform(0.7, 1.0)
+    canvas = np.zeros((28, 28))
+    h, w = img.shape
+    top = (28 - h) // 2 + rng.integers(-2, 3)
+    left = (28 - w) // 2 + rng.integers(-2, 3)
+    top = int(np.clip(top, 0, 28 - h))
+    left = int(np.clip(left, 0, 28 - w))
+    canvas[top : top + h, left : left + w] = img
+    canvas = ndimage.gaussian_filter(canvas, sigma=rng.uniform(0.4, 0.8))
+    canvas += rng.normal(0.0, 0.05, canvas.shape)
+    return np.clip(canvas * 2.0 - 1.0, -1.0, 1.0)
+
+
+def make_digits(n_train: int = 4000, n_test: int = 1000, seed: int = 0) -> Dataset:
+    """The MNIST stand-in: ``(N, 1, 28, 28)`` images in ``[-1, 1]``."""
+    rng = np.random.default_rng(seed)
+    n = n_train + n_test
+    labels = rng.integers(0, 10, size=n)
+    images = np.stack([_render_digit(int(d), rng) for d in labels])[:, None, :, :]
+    return Dataset(
+        images[:n_train], labels[:n_train], images[n_train:], labels[n_train:], name="digits"
+    )
+
+
+# ---------------------------------------------------------------------------
+# shapes (CIFAR-10 stand-in)
+# ---------------------------------------------------------------------------
+
+_YY, _XX = np.mgrid[0:32, 0:32]
+
+
+def _shape_mask(cls: int, cx: float, cy: float, r: float, rng: np.random.Generator) -> np.ndarray:
+    """Binary mask of one of the 10 shape classes."""
+    y, x = _YY - cy, _XX - cx
+    if cls == 0:  # disc
+        return (x * x + y * y) <= r * r
+    if cls == 1:  # square
+        return (np.abs(x) <= r) & (np.abs(y) <= r)
+    if cls == 2:  # triangle (upward)
+        return (y >= -r) & (y <= r) & (np.abs(x) <= (y + r) / 2.0)
+    if cls == 3:  # cross
+        t = max(r / 2.5, 1.5)
+        return ((np.abs(x) <= t) & (np.abs(y) <= r)) | ((np.abs(y) <= t) & (np.abs(x) <= r))
+    if cls == 4:  # ring
+        rr = x * x + y * y
+        return (rr <= r * r) & (rr >= (0.55 * r) ** 2)
+    if cls == 5:  # diamond
+        return (np.abs(x) + np.abs(y)) <= r
+    if cls == 6:  # horizontal bars
+        return ((np.abs(y) <= r) & (np.abs(x) <= r)) & ((_YY // 3) % 2 == 0)
+    if cls == 7:  # vertical bars
+        return ((np.abs(y) <= r) & (np.abs(x) <= r)) & ((_XX // 3) % 2 == 0)
+    if cls == 8:  # checkerboard patch
+        return ((np.abs(y) <= r) & (np.abs(x) <= r)) & (((_XX // 4) + (_YY // 4)) % 2 == 0)
+    if cls == 9:  # hollow square
+        inner = 0.55 * r
+        outer = (np.abs(x) <= r) & (np.abs(y) <= r)
+        return outer & ~((np.abs(x) <= inner) & (np.abs(y) <= inner))
+    raise ValueError(f"unknown shape class {cls}")
+
+
+def _render_shape(cls: int, rng: np.random.Generator) -> np.ndarray:
+    """One 32x32 RGB image in [-1, 1] with nuisances."""
+    cx = 16.0 + rng.uniform(-5.0, 5.0)
+    cy = 16.0 + rng.uniform(-5.0, 5.0)
+    r = rng.uniform(6.5, 11.0)
+    mask = _shape_mask(cls, cx, cy, r, rng).astype(np.float64)
+    mask = ndimage.rotate(mask, rng.uniform(0.0, 20.0), order=1, reshape=False)
+    fg = rng.uniform(0.45, 1.0, size=3) * rng.choice([-1.0, 1.0], size=3)
+    bg = rng.uniform(-0.3, 0.3, size=3)
+    img = bg[:, None, None] * np.ones((3, 32, 32)) + fg[:, None, None] * mask[None]
+    # distractor blob
+    dx, dy = rng.uniform(2, 30, size=2)
+    dr = rng.uniform(1.5, 3.0)
+    blob = ((_XX - dx) ** 2 + (_YY - dy) ** 2 <= dr * dr).astype(np.float64)
+    img += rng.uniform(-0.4, 0.4, size=3)[:, None, None] * blob[None]
+    # correlated low-frequency noise + pixel noise
+    low = rng.normal(0.0, 1.0, (3, 8, 8))
+    low = np.stack([ndimage.zoom(c, 4.0, order=1) for c in low])
+    img += 0.08 * low + rng.normal(0.0, 0.06, img.shape)
+    return np.clip(img, -1.0, 1.0)
+
+
+def make_shapes(n_train: int = 4000, n_test: int = 1000, seed: int = 0) -> Dataset:
+    """The CIFAR-10 stand-in: ``(N, 3, 32, 32)`` images in ``[-1, 1]``."""
+    rng = np.random.default_rng(seed)
+    n = n_train + n_test
+    labels = rng.integers(0, 10, size=n)
+    images = np.stack([_render_shape(int(c), rng) for c in labels])
+    return Dataset(
+        images[:n_train], labels[:n_train], images[n_train:], labels[n_train:], name="shapes"
+    )

@@ -1,0 +1,67 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+=================  ====================================================
+module             regenerates
+=================  ====================================================
+table1_signed      Table 1 (signed multiply worked example)
+fig5_error         Fig. 5 (multiplier error statistics, 5/10 bit)
+fig6_accuracy      Fig. 6 (MNIST/CIFAR stand-in accuracy vs precision)
+fig7_mac_array     Fig. 7 (256-MAC array area/latency/energy)
+table2_area        Table 2 (per-MAC area breakdown vs published)
+table3_accel       Table 3 (comparison with published accelerators)
+ablation_stream    A1: stream generator feeding the BISC counter
+ablation_parallelism  A2: bit-parallelism area/latency/ADP sweep
+ablation_accumulator  A3: accumulator headroom/saturation/rounding
+runner             run everything (``python -m repro.experiments.runner``)
+=================  ====================================================
+"""
+
+from repro.experiments import (
+    ablation_accumulator,
+    ablation_energy_quality,
+    ablation_parallelism,
+    ablation_stream,
+    fig5_error,
+    fig6_accuracy,
+    fig7_mac_array,
+    table1_signed,
+    network_performance,
+    resilience_study,
+    table2_area,
+    table3_accel,
+)
+from repro.experiments.results_io import load_result, save_result, to_jsonable
+from repro.experiments.common import (
+    DIGITS_QUICK_SPEC,
+    DIGITS_SPEC,
+    SHAPES_QUICK_SPEC,
+    SHAPES_SPEC,
+    BenchmarkSpec,
+    TrainedModel,
+    get_trained_model,
+)
+
+__all__ = [
+    "table1_signed",
+    "fig5_error",
+    "fig6_accuracy",
+    "fig7_mac_array",
+    "table2_area",
+    "table3_accel",
+    "ablation_stream",
+    "ablation_parallelism",
+    "ablation_accumulator",
+    "ablation_energy_quality",
+    "resilience_study",
+    "network_performance",
+    "BenchmarkSpec",
+    "TrainedModel",
+    "get_trained_model",
+    "DIGITS_SPEC",
+    "DIGITS_QUICK_SPEC",
+    "SHAPES_SPEC",
+    "SHAPES_QUICK_SPEC",
+    "save_result",
+    "load_result",
+    "to_jsonable",
+]

@@ -1,0 +1,116 @@
+"""Ablation A4: the dynamic energy-quality trade-off.
+
+Section 4.3.2 points out the comparison ignores SC's "dynamic
+energy-quality tradeoff"; this ablation quantifies it for the proposed
+multiplier.  Truncating each multiply at a per-multiply cycle budget
+cuts energy roughly linearly while the result degrades gracefully —
+the curve a designer would use to pick an operating point, and the
+property conventional binary arithmetic simply does not have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.energy_quality import energy_quality_curve
+from repro.experiments.common import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(
+    n_bits: int = 8,
+    budgets: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128),
+    depth: int = 64,
+    width: int = 8,
+    lanes: int = 32,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Energy-quality curve on random bell-shaped dot products."""
+    rng = np.random.default_rng(seed)
+    half = 1 << (n_bits - 1)
+    w = np.clip(np.rint(rng.laplace(scale=0.15 * half, size=(width, depth))), -half, half - 1)
+    x = rng.integers(-half, half, size=(depth, lanes))
+    return energy_quality_curve(w.astype(np.int64), x, n_bits, list(budgets))
+
+
+def run_cnn(
+    budgets: tuple[int, ...] = (2, 4, 8, 16, 128),
+    n_bits: int = 8,
+) -> list[dict[str, float]]:
+    """CNN-level energy-quality: digits accuracy under cycle budgets.
+
+    The recognition-level version of the trade-off (the dynamic
+    energy-accuracy behaviour the paper cites from Kim et al. DAC'16):
+    every conv multiply of the trained digits net is capped, and
+    accuracy is measured against the realized average cycles.
+    """
+    from repro.experiments.common import DIGITS_QUICK_SPEC, get_trained_model
+    from repro.nn.engines import TruncatedScEngine
+
+    model = get_trained_model(DIGITS_QUICK_SPEC)
+    ds = model.dataset
+    out = []
+    for budget in budgets:
+        engines = [
+            TruncatedScEngine(
+                cycle_budget=int(budget),
+                n_bits=n_bits,
+                acc_bits=2,
+                w_scale=r.w_scale,
+                x_scale=r.x_scale,
+            )
+            for r in model.ranges
+        ]
+        model.net.set_conv_engines(engines)
+        acc = model.net.accuracy(ds.x_test, ds.y_test)
+        cycles = float(
+            np.mean(
+                [
+                    eng.avg_cycles(conv.weight.value.reshape(conv.out_channels, -1))
+                    for eng, conv in zip(engines, model.net.conv_layers)
+                ]
+            )
+        )
+        out.append({"budget": float(budget), "avg_cycles": cycles, "accuracy": acc})
+    model.restore_float()
+    return out
+
+
+def main(n_bits: int = 8) -> str:
+    rows = run(n_bits)
+    full = rows[-1]
+    table = format_table(
+        ["cycle budget", "avg cycles", "RMS err (LSB)", "max err", "energy vs full"],
+        [
+            [
+                int(r["budget"]),
+                f"{r['avg_cycles']:.2f}",
+                f"{r['rms_error']:.3f}",
+                f"{r['max_error']:.2f}",
+                f"{r['avg_cycles'] / full['avg_cycles']:.0%}",
+            ]
+            for r in rows
+        ],
+    )
+    cnn_rows = run_cnn(n_bits=n_bits)
+    cnn_table = format_table(
+        ["cycle budget", "avg cycles", "digits accuracy"],
+        [
+            [int(r["budget"]), f"{r['avg_cycles']:.2f}", f"{r['accuracy']:.4f}"]
+            for r in cnn_rows
+        ],
+    )
+    out = (
+        f"Ablation A4 — dynamic energy-quality trade-off (N={n_bits}, "
+        "per-multiply cycle cap)\n"
+        + table
+        + "\n\nCNN-level (trained digits net, capped conv multiplies):\n"
+        + cnn_table
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Ablation A2: the bit-parallelism sweep (Section 2.5 / Table 2).
+
+"Increasing bit-parallelism can reduce multiplier latency at the cost
+of hardware overhead.  Therefore the degree of bit-parallelism needs to
+be chosen carefully."  This sweep quantifies that trade-off: per-MAC
+area, average latency, energy and ADP of the proposed array at
+b = 1..32, using bell-shaped weights.  The paper's finding — moderate
+parallelism (8 bits in the paper; 8-16 in our cost model) minimizes ADP
+at 9-bit precision, with b = 32 already past the optimum — falls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import laplace_weights_for_target_latency
+from repro.experiments.common import format_table
+from repro.hw import MacArray, avg_mac_cycles_from_weights, proposed_mac
+
+__all__ = ["ParallelismRow", "run", "main"]
+
+
+@dataclass(frozen=True)
+class ParallelismRow:
+    """One design point of the sweep."""
+
+    bit_parallel: int
+    mac_area_um2: float
+    avg_cycles: float
+    energy_per_mac_pj: float
+    adp_um2_cycles: float
+
+
+def run(
+    precision: int = 9,
+    degrees: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    weights: np.ndarray | None = None,
+    size: int = 256,
+    lanes: int = 16,
+) -> list[ParallelismRow]:
+    """Area/latency/energy/ADP for each parallelism degree."""
+    if weights is None:
+        weights = laplace_weights_for_target_latency(7.7, precision)
+    rows = []
+    for b in degrees:
+        arr = MacArray(proposed_mac(precision, bit_parallel=b), size=size, lanes=lanes)
+        cyc = avg_mac_cycles_from_weights(weights, precision, b)
+        s = arr.summary(cyc)
+        rows.append(
+            ParallelismRow(
+                bit_parallel=b,
+                mac_area_um2=arr.area_per_mac_um2(),
+                avg_cycles=cyc,
+                energy_per_mac_pj=s["energy_per_mac_pj"],
+                adp_um2_cycles=s["adp_um2_cycles"],
+            )
+        )
+    return rows
+
+
+def best_adp(rows: list[ParallelismRow]) -> ParallelismRow:
+    """The sweep's ADP-optimal design point."""
+    return min(rows, key=lambda r: r.adp_um2_cycles)
+
+
+def main(precision: int = 9) -> str:
+    rows = run(precision)
+    table = format_table(
+        ["b", "area/MAC um^2", "avg cycles", "pJ/MAC", "ADP"],
+        [
+            [r.bit_parallel, f"{r.mac_area_um2:.1f}", f"{r.avg_cycles:.3f}", f"{r.energy_per_mac_pj:.4f}", f"{r.adp_um2_cycles:.1f}"]
+            for r in rows
+        ],
+    )
+    opt = best_adp(rows)
+    out = (
+        f"Ablation A2 — bit-parallelism sweep (N={precision}, 256-MAC array)\n"
+        + table
+        + f"\nADP-optimal parallelism: b={opt.bit_parallel}"
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Fig. 5: error statistics of the SC multipliers.
+
+Reproduces both panels (5-bit and 10-bit operands, all input
+combinations) for the four schemes (LFSR, Halton, ED, proposed), with
+the same running-statistics-at-``2**x``-cycles x-axis, and verifies the
+paper's qualitative claims:
+
+* Halton is the most accurate *conventional* method;
+* ED is the least accurate;
+* ours has substantially lower error std than Halton at all times;
+* ours' max absolute error is of the order of Halton's std;
+* ours is zero-biased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ErrorStats, convergence_summary, error_statistics
+from repro.experiments.common import format_table
+
+__all__ = ["run", "claims_check", "main"]
+
+
+def run(
+    precisions: tuple[int, ...] = (5, 10), methods: tuple[str, ...] = ("lfsr", "halton", "ed", "proposed")
+) -> dict[int, dict[str, ErrorStats]]:
+    """Error statistics for each precision and method."""
+    return {n: error_statistics(n, methods) for n in precisions}
+
+
+def claims_check(results: dict[int, dict[str, ErrorStats]]) -> dict[str, bool]:
+    """The paper's Fig. 5 claims, as booleans per claim."""
+    checks: dict[str, bool] = {}
+    for n, stats in results.items():
+        final_std = {m: float(s.std[-1]) for m, s in stats.items()}
+        conventional = {m: v for m, v in final_std.items() if m != "proposed"}
+        if "halton" in conventional:
+            checks[f"n{n}_halton_best_conventional"] = final_std["halton"] == min(
+                conventional.values()
+            )
+            checks[f"n{n}_ours_below_halton"] = final_std["proposed"] < final_std["halton"]
+            checks[f"n{n}_ours_max_near_halton_std"] = (
+                float(stats["proposed"].max_abs[-1]) < 3.0 * final_std["halton"]
+            )
+        if "ed" in conventional:
+            checks[f"n{n}_ed_worst_conventional"] = final_std["ed"] == max(conventional.values())
+        checks[f"n{n}_ours_zero_biased"] = abs(float(stats["proposed"].mean[-1])) < 1.0 / (
+            1 << n
+        )
+    return checks
+
+
+def main(precisions: tuple[int, ...] = (5, 10)) -> str:
+    results = run(precisions)
+    blocks = []
+    for n, stats in results.items():
+        rows = []
+        for method, s in stats.items():
+            rows.append(
+                [
+                    method,
+                    f"{s.std[-1]:.5f}",
+                    f"{s.max_abs[-1]:.5f}",
+                    f"{s.mean[-1]:+.5f}",
+                ]
+            )
+        blocks.append(
+            f"Fig. 5 — {n}-bit operands (all input pairs, error vs exact product)\n"
+            + format_table(["method", "final std", "final max|err|", "final mean"], rows)
+        )
+        # convergence: std at each checkpoint
+        conv_rows = []
+        for method, s in stats.items():
+            conv_rows.append([method] + [f"{v:.4f}" for v in s.std])
+        blocks.append(
+            "running error std at cycle 2^x\n"
+            + format_table(
+                ["method"] + [str(int(c)) for c in stats["proposed"].checkpoints], conv_rows
+            )
+        )
+        blocks.append(f"convergence summary: {convergence_summary(stats)}")
+    checks = claims_check(results)
+    blocks.append("claims: " + ", ".join(f"{k}={'OK' if v else 'FAIL'}" for k, v in checks.items()))
+    out = "\n\n".join(blocks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Network-level accelerator performance (Section 3.3 end to end).
+
+Profiles whole trained CNNs on the modelled 256-MAC accelerator:
+per-conv-layer cycles for the binary / conventional-SC / proposed
+arrays, whole-network latency, energy per inference and the speedup /
+energy-gain headlines — Fig. 7 lifted from per-MAC to per-network.
+"""
+
+from __future__ import annotations
+
+from repro.core.conv_mapping import AcceleratorConfig, TilingConfig
+from repro.experiments.common import (
+    DIGITS_QUICK_SPEC,
+    SHAPES_QUICK_SPEC,
+    BenchmarkSpec,
+    format_table,
+    get_trained_model,
+)
+from repro.hw.performance import NetworkProfile, profile_network
+
+__all__ = ["run", "main"]
+
+_INPUT_SHAPES = {"digits": (1, 28, 28), "shapes": (3, 32, 32)}
+
+
+def run(
+    spec: BenchmarkSpec = DIGITS_QUICK_SPEC,
+    n_bits: int = 8,
+    bit_parallel: int = 8,
+) -> NetworkProfile:
+    """Profile one benchmark's trained net at the given precision."""
+    model = get_trained_model(spec)
+    config = AcceleratorConfig(
+        n_bits=n_bits,
+        bit_parallel=bit_parallel,
+        tiling=TilingConfig(t_m=16, t_r=4, t_c=4),
+    )
+    w_scales = [r.w_scale for r in model.ranges]
+    return profile_network(
+        model.net, _INPUT_SHAPES[spec.dataset], config, w_scales=w_scales
+    )
+
+
+def main() -> str:
+    blocks = []
+    for spec, n_bits in ((DIGITS_QUICK_SPEC, 5), (SHAPES_QUICK_SPEC, 9)):
+        profile = run(spec, n_bits=n_bits)
+        rows = [
+            [
+                l.index,
+                "x".join(map(str, l.weight_shape)),
+                f"{int(l.macs):,}",
+                f"{int(l.cycles_binary):,}",
+                f"{int(l.cycles_conv_sc):,}",
+                f"{int(l.cycles_proposed):,}",
+            ]
+            for l in profile.layers
+        ]
+        table = format_table(
+            ["layer", "weights", "MACs", "binary cyc", "conv-SC cyc", "proposed cyc"], rows
+        )
+        c = profile.cycles
+        blocks.append(
+            f"network performance — {spec.dataset} net at N={n_bits} "
+            "(256 MACs, Ours-8)\n"
+            + table
+            + f"\ntotals: binary {int(c['binary']):,} cyc / "
+            f"{profile.energy_binary_nj:.3g} nJ;  conv-SC {int(c['conv_sc']):,} cyc / "
+            f"{profile.energy_conv_sc_nj:.3g} nJ;  proposed {int(c['proposed']):,} cyc / "
+            f"{profile.energy_proposed_nj:.3g} nJ"
+            + f"\nspeedup vs conv-SC: {profile.speedup_vs_conv_sc:.1f}x;  "
+            f"energy gain vs conv-SC: {profile.energy_gain_vs_conv_sc:.1f}x;  "
+            f"vs binary: {profile.energy_gain_vs_binary:.2f}x"
+        )
+    out = "\n\n".join(blocks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

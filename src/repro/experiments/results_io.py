@@ -1,0 +1,68 @@
+"""JSON persistence for experiment results.
+
+Every harness returns plain data (dicts, dataclasses, numpy scalars);
+this module serializes those to versioned JSON artefacts so EXPERIMENTS
+reports can be regenerated without re-running expensive sweeps, and so
+CI can diff results across commits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+import repro
+
+__all__ = ["to_jsonable", "save_result", "load_result"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert harness outputs to JSON-compatible data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def save_result(name: str, payload: Any, out_dir: str | Path) -> Path:
+    """Write one experiment's result as ``<out_dir>/<name>.json``.
+
+    The envelope records the package version and a UTC timestamp so
+    artefacts are traceable to the code that produced them.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.json"
+    envelope = {
+        "experiment": name,
+        "repro_version": repro.__version__,
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "result": to_jsonable(payload),
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict[str, Any]:
+    """Read an artefact written by :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    for key in ("experiment", "repro_version", "result"):
+        if key not in data:
+            raise ValueError(f"not a repro result file (missing {key!r}): {path}")
+    return data

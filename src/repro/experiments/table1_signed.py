@@ -1,0 +1,65 @@
+"""Table 1: signed multiplication worked example (N = 4).
+
+Reruns the paper's exact example operands through the signed BISC
+multiplier and checks the counter values against the published ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.signed import SignedMultiplyTrace, signed_multiply_details
+from repro.experiments.common import format_table
+
+__all__ = ["PAPER_ROWS", "run", "main"]
+
+#: (2^3 w, 2^3 x, expected counter) — straight from Table 1 of the paper
+#: (the published "x = -7" row is a typo for +7: its reference product
+#: 6.125 = (7/8)*(7/8)*8 only works for +7).
+PAPER_ROWS: tuple[tuple[int, int, int], ...] = (
+    (-8, 0, 0),
+    (-8, 7, -8),
+    (-8, -8, 8),
+    (7, 0, 1),
+    (7, 7, 7),
+    (7, -8, -7),
+)
+
+
+def run(n_bits: int = 4) -> list[SignedMultiplyTrace]:
+    """All Table 1 rows as full multiplier traces."""
+    return [signed_multiply_details(w, x, n_bits) for w, x, _ in PAPER_ROWS]
+
+
+def verify(traces: list[SignedMultiplyTrace] | None = None) -> bool:
+    """True iff every counter value matches the published table."""
+    traces = traces if traces is not None else run()
+    return all(t.counter == expected for t, (_, _, expected) in zip(traces, PAPER_ROWS))
+
+
+def main() -> str:
+    traces = run()
+    rows = []
+    for t, (_, _, expected) in zip(traces, PAPER_ROWS):
+        rows.append(
+            [
+                t.w_int,
+                t.x_int,
+                format(t.x_int & 0xF, "04b"),
+                format(t.offset_word, "04b"),
+                "".join(str(b) for b in t.mux_bits),
+                t.counter,
+                expected,
+                f"{t.reference:g}",
+            ]
+        )
+    table = format_table(
+        ["2^3*w", "2^3*x", "binary", "sign-flip", "MUX out", "counter", "paper", "ref"],
+        rows,
+    )
+    status = "MATCH" if verify(traces) else "MISMATCH"
+    out = f"Table 1 — signed multiplication example (N=4)\n{table}\nvs. paper: {status}"
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Table 3: comparison with previously published DNN accelerators.
+
+Published rows are constants (the other chips' measurements); the
+proposed row is computed from our array model using the trained shapes
+(CIFAR stand-in) net's weights for the data-dependent latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SHAPES_SPEC, format_table
+from repro.hw import AcceleratorEntry, table3
+
+__all__ = ["run", "main"]
+
+
+def run(use_trained_weights: bool = True) -> list[AcceleratorEntry]:
+    """All Table 3 rows; optionally with paper-matched synthetic weights."""
+    weights = None
+    if use_trained_weights:
+        from repro.experiments.fig7_mac_array import trained_conv_weights
+
+        weights = trained_conv_weights(SHAPES_SPEC)
+    return table3(weights)
+
+
+def main(use_trained_weights: bool = True) -> str:
+    rows = [
+        [
+            e.label,
+            e.kind,
+            f"{e.frequency_mhz:.0f}",
+            f"{e.area_mm2:.2f}",
+            f"{e.power_mw:.2f}",
+            f"{e.gops:.2f}",
+            f"{e.gops_per_mm2:.1f}",
+            f"{e.gops_per_w:.1f}",
+            f"{e.tech_nm}nm",
+            e.scope,
+        ]
+        for e in run(use_trained_weights)
+    ]
+    table = format_table(
+        ["accelerator", "kind", "MHz", "mm^2", "mW", "GOPS", "GOPS/mm^2", "GOPS/W", "tech", "scope"],
+        rows,
+    )
+    out = "Table 3 — comparison with previous neural-network accelerators\n" + table
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Hardware cost models — the Synopsys DC / TSMC 45 nm stand-in.
+
+Gate-level area formulas calibrated against the paper's published
+synthesis numbers (Table 2), an activity-based power model (Table 3),
+MAC designs for every baseline, and MAC-array models with the paper's
+resource-sharing rules.  See DESIGN.md ("Substitutions") for what is
+structural vs. fitted.
+"""
+
+from repro.hw.gates import ACTIVITY, POWER_DENSITY_MW_PER_UM2_GHZ, AreaPower, component_power_mw
+from repro.hw.mac_designs import (
+    TABLE2_COLUMNS,
+    MacDesign,
+    all_table2_designs,
+    ed_sc_mac,
+    fixed_point_mac,
+    halton_sc_mac,
+    lfsr_sc_mac,
+    proposed_mac,
+)
+from repro.hw.array import MacArray
+from repro.hw.energy import Fig7Row, avg_mac_cycles_from_weights, compare_mac_arrays
+from repro.hw.memory import (
+    BufferSet,
+    SramMacro,
+    accelerator_totals,
+    buffer_set_for,
+    sn_storage_blowup,
+)
+from repro.hw.performance import LayerProfile, NetworkProfile, profile_network
+from repro.hw.accelerators import (
+    PUBLISHED_ACCELERATORS,
+    AcceleratorEntry,
+    proposed_entry,
+    table3,
+)
+
+__all__ = [
+    "AreaPower",
+    "ACTIVITY",
+    "POWER_DENSITY_MW_PER_UM2_GHZ",
+    "component_power_mw",
+    "MacDesign",
+    "TABLE2_COLUMNS",
+    "fixed_point_mac",
+    "lfsr_sc_mac",
+    "halton_sc_mac",
+    "ed_sc_mac",
+    "proposed_mac",
+    "all_table2_designs",
+    "MacArray",
+    "Fig7Row",
+    "avg_mac_cycles_from_weights",
+    "compare_mac_arrays",
+    "AcceleratorEntry",
+    "PUBLISHED_ACCELERATORS",
+    "proposed_entry",
+    "table3",
+    "LayerProfile",
+    "NetworkProfile",
+    "profile_network",
+    "SramMacro",
+    "BufferSet",
+    "buffer_set_for",
+    "sn_storage_blowup",
+    "accelerator_totals",
+]

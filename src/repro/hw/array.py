@@ -1,0 +1,102 @@
+"""MAC-array models with resource sharing (Section 4.3's 256-MAC arrays).
+
+Sharing rules, as in the paper:
+
+* **binary**: nothing shared; the array is ``size`` independent MACs.
+* **conventional SC**: the weight SNG is shared across the whole array
+  (it appears once, in ``MacDesign.array_parts``); the per-data SNG is
+  per MAC.
+* **proposed**: each BISC-MVM of ``lanes`` MACs shares one FSM and one
+  down counter (components flagged ``shared``); the array holds
+  ``size / lanes`` MVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gates import AreaPower
+from repro.hw.mac_designs import MacDesign
+
+__all__ = ["MacArray"]
+
+
+@dataclass(frozen=True)
+class MacArray:
+    """A ``size``-MAC array of one design at one clock frequency."""
+
+    design: MacDesign
+    size: int = 256
+    #: lanes per BISC-MVM (= T_R * T_C); ignored by non-proposed designs
+    lanes: int = 16
+    clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 1 or self.lanes < 1:
+            raise ValueError("size and lanes must be >= 1")
+        if self.design.family == "proposed" and self.size % self.lanes:
+            raise ValueError("array size must be a multiple of the MVM lane count")
+
+    def _instances(self) -> list[tuple[AreaPower, int]]:
+        """(component, instance count) pairs for the whole array."""
+        out: list[tuple[AreaPower, int]] = []
+        if self.design.family == "proposed":
+            n_mvm = self.size // self.lanes
+            for part in self.design.lane_parts():
+                out.append((part, self.size))
+            for part in self.design.shared_parts():
+                out.append((part, n_mvm))
+        else:
+            for _, part in self.design.parts:
+                out.append((part, self.size))
+        for part in self.design.array_parts:
+            out.append((part, 1))
+        return out
+
+    @property
+    def area_um2(self) -> float:
+        """Total array area with sharing applied."""
+        return sum(p.area_um2 * n for p, n in self._instances())
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+    @property
+    def power_mw(self) -> float:
+        """Total dynamic power at the array clock."""
+        return sum(p.power_mw(self.clock_ghz) * n for p, n in self._instances())
+
+    def area_per_mac_um2(self) -> float:
+        """Effective per-MAC area after sharing."""
+        return self.area_um2 / self.size
+
+    def energy_per_mac_pj(self, avg_mac_cycles: float | None = None) -> float:
+        """Energy of one MAC operation: power x latency / size.
+
+        ``avg_mac_cycles`` is required for the proposed (data-dependent
+        latency) designs; see :meth:`MacDesign.mac_latency_cycles`.
+        """
+        cycles = self.design.mac_latency_cycles(avg_mac_cycles)
+        time_ns = cycles / self.clock_ghz
+        return self.power_mw / self.size * time_ns  # mW * ns == pJ
+
+    def gops(self, avg_mac_cycles: float | None = None) -> float:
+        """Throughput in GOPS (1 MAC = 2 ops, as in Table 3)."""
+        cycles = self.design.mac_latency_cycles(avg_mac_cycles)
+        return 2.0 * self.size * self.clock_ghz / cycles
+
+    def summary(self, avg_mac_cycles: float | None = None) -> dict[str, float]:
+        """Fig. 7 / Table 3 metrics in one dict."""
+        cycles = self.design.mac_latency_cycles(avg_mac_cycles)
+        gops = self.gops(avg_mac_cycles)
+        return {
+            "area_mm2": self.area_mm2,
+            "power_mw": self.power_mw,
+            "avg_mac_cycles": cycles,
+            "energy_per_mac_pj": self.energy_per_mac_pj(avg_mac_cycles),
+            "adp_um2_cycles": self.area_per_mac_um2() * cycles,
+            "gops": gops,
+            "gops_per_mm2": gops / self.area_mm2,
+            "gops_per_w": gops / (self.power_mw * 1e-3),
+        }

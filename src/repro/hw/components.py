@@ -1,0 +1,144 @@
+"""Parametric area formulas for the building blocks of every MAC design.
+
+Areas are in um^2 (TSMC 45 nm); per-bit constants are calibrated against
+the paper's Table 2 (see :mod:`repro.hw.gates`).  Each constructor
+returns an :class:`~repro.hw.gates.AreaPower` tagged with its switching
+class and whether a BISC-MVM shares it across lanes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.gates import AreaPower
+
+__all__ = [
+    "lfsr",
+    "comparator",
+    "xnor_gate",
+    "binary_multiplier",
+    "up_down_counter",
+    "down_counter",
+    "fsm_sequencer",
+    "stream_mux",
+    "data_register",
+    "halton_generator_reg",
+    "halton_generator_combi",
+    "ed_generator_reg",
+    "ed_generator_combi",
+    "xnor_bank",
+    "parallel_counter",
+    "ones_counter",
+]
+
+# Calibrated per-bit constants (um^2/bit unless noted), fitted to Table 2.
+_LFSR_PER_BIT = 10.1
+_COMPARATOR_PER_BIT = 3.9
+_XNOR_AREA = 1.8
+_MULT_PER_BIT2 = 3.75
+_UDCNT_PER_BIT = 9.5
+_DOWNCNT_PER_BIT = 8.7
+_FSM_PER_BIT = 2.2
+_MUX_PER_BIT = 1.3
+_DATA_REG_PER_BIT = 4.2
+_HALTON_REG_LIN = 11.2
+_HALTON_REG_QUAD = 1.27
+_PARCNT_PER_INPUT = 4.3
+_ONES_CNT_PER_INPUT = 5.45
+_ONES_CNT_BASE = 64.9
+_ED_REG_PER_BIT = 38.5
+_ED_COMBI_PER_BIT = 25.1
+
+
+def lfsr(n_bits: int) -> AreaPower:
+    """Maximal-length LFSR: n DFFs plus feedback XORs."""
+    return AreaPower("lfsr", _LFSR_PER_BIT * n_bits, "lfsr")
+
+
+def comparator(n_bits: int) -> AreaPower:
+    """N-bit magnitude comparator (the SNG's combinational half)."""
+    return AreaPower("comparator", _COMPARATOR_PER_BIT * n_bits, "combinational")
+
+
+def xnor_gate() -> AreaPower:
+    """One XNOR gate — the whole bipolar SC multiplier."""
+    return AreaPower("xnor", _XNOR_AREA, "xnor")
+
+
+def binary_multiplier(n_bits: int) -> AreaPower:
+    """N x N array multiplier; quadratic in precision."""
+    return AreaPower("multiplier", _MULT_PER_BIT2 * n_bits * n_bits, "multiplier")
+
+
+def up_down_counter(width: int, saturating: bool = True) -> AreaPower:
+    """Saturating up/down counter (accumulator) of ``width`` bits."""
+    area = _UDCNT_PER_BIT * width * (1.0 if saturating else 0.9)
+    return AreaPower("up_down_counter", area, "counter")
+
+
+def down_counter(n_bits: int) -> AreaPower:
+    """Weight down counter of the proposed SC-MAC (shared in an MVM)."""
+    return AreaPower("down_counter", _DOWNCNT_PER_BIT * n_bits, "counter", shared=True)
+
+
+def fsm_sequencer(n_bits: int, bit_parallel: int = 1) -> AreaPower:
+    """The proposed FSM: binary counter + priority encoder.
+
+    At bit-parallelism ``b`` the FSM only sequences ``2**N / b`` columns,
+    so its counter shrinks by ``log2(b)`` bits (Section 2.5).
+    """
+    bits = max(1, n_bits - int(math.log2(bit_parallel)))
+    return AreaPower("fsm", _FSM_PER_BIT * bits, "fsm", shared=True)
+
+
+def stream_mux(n_bits: int) -> AreaPower:
+    """N-to-1 bit mux selecting the streamed operand bit."""
+    return AreaPower("mux", _MUX_PER_BIT * n_bits, "mux")
+
+
+def data_register(n_bits: int) -> AreaPower:
+    """Operand register holding the offset-binary data word."""
+    return AreaPower("data_reg", _DATA_REG_PER_BIT * n_bits, "data_reg")
+
+
+def halton_generator_reg(n_bits: int) -> AreaPower:
+    """Halton sequence generator registers (base-2/3 digit counters)."""
+    area = _HALTON_REG_LIN * n_bits + _HALTON_REG_QUAD * n_bits * n_bits
+    return AreaPower("halton_reg", area, "rng_reg")
+
+
+def halton_generator_combi(n_bits: int) -> AreaPower:
+    """Halton generator's comparator/scaling logic."""
+    return AreaPower("halton_combi", _COMPARATOR_PER_BIT * n_bits * 0.97, "combinational")
+
+
+def ed_generator_reg(n_bits: int, bits_per_cycle: int = 32) -> AreaPower:
+    """Even-distribution generator registers (bit-parallel, [9])."""
+    area = _ED_REG_PER_BIT * n_bits * bits_per_cycle / 32.0
+    return AreaPower("ed_reg", area, "rng_reg")
+
+
+def ed_generator_combi(n_bits: int, bits_per_cycle: int = 32) -> AreaPower:
+    """ED generator combinational logic."""
+    area = _ED_COMBI_PER_BIT * n_bits * bits_per_cycle / 32.0
+    return AreaPower("ed_combi", area, "combinational")
+
+
+def xnor_bank(count: int) -> AreaPower:
+    """A bank of XNOR gates for bit-parallel conventional SC."""
+    return AreaPower("xnor_bank", _XNOR_AREA * count, "xnor")
+
+
+def parallel_counter(inputs: int) -> AreaPower:
+    """Adder tree counting ones among ``inputs`` bits per cycle."""
+    return AreaPower("parallel_counter", _PARCNT_PER_INPUT * inputs, "combinational")
+
+
+def ones_counter(bit_parallel: int) -> AreaPower:
+    """The proposed design's ones counter (Section 2.5 inset).
+
+    Counts ones in the top ``w`` rows of a ``b``-bit column using the
+    round(k/2^i) closed form; includes the column mux.
+    """
+    area = _ONES_CNT_BASE + _ONES_CNT_PER_INPUT * bit_parallel
+    return AreaPower("ones_counter", area, "combinational")

@@ -1,0 +1,66 @@
+"""Technology model — the Synopsys DC / TSMC 45 nm stand-in.
+
+We cannot run logic synthesis in this environment, so area and power
+come from a parametric gate-level model calibrated against the paper's
+published synthesis results (Table 2 per-MAC areas in um^2, Table 3
+array power in mW, both TSMC 45 nm at 1 GHz).  The *structure* of every
+formula is physical (DFF counts, adder/comparator widths, quadratic
+array multipliers); only the per-bit constants are fitted.  DESIGN.md
+records this substitution.
+
+Power follows the usual dynamic-power proxy
+
+    P[mW] = area[um^2] * activity * POWER_DENSITY * f[GHz]
+
+with per-component-class switching activities.  The LFSR class gets the
+highest activity — the paper observes that "LFSRs have unusually high
+power dissipation per area", which is what makes conventional SC
+dissipate about as much as binary despite its smaller area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ACTIVITY", "POWER_DENSITY_MW_PER_UM2_GHZ", "AreaPower", "component_power_mw"]
+
+#: Dynamic power per um^2 at activity 1.0 and 1 GHz (calibrated so the
+#: proposed 256-MAC array at 9-bit precision dissipates ~25 mW, Table 3).
+POWER_DENSITY_MW_PER_UM2_GHZ = 1.45e-3
+
+#: Switching-activity factors by component class.
+ACTIVITY: dict[str, float] = {
+    "lfsr": 0.90,  # near-every-flop toggling; the paper's power outlier
+    "rng_reg": 0.50,  # Halton / ED generator registers
+    "combinational": 0.34,  # comparators, ones counters, product logic
+    "multiplier": 0.46,  # binary array multiplier (glitch-heavy)
+    "counter": 0.28,  # up/down, down, binary counters & accumulators
+    "fsm": 0.30,  # the proposed FSM (counter + priority encoder)
+    "mux": 0.30,
+    "data_reg": 0.15,  # operand registers, loaded once per operand
+    "xnor": 0.50,
+}
+
+
+@dataclass(frozen=True)
+class AreaPower:
+    """Area/power of one hardware component."""
+
+    name: str
+    area_um2: float
+    activity_class: str
+    #: True if an MVM instantiates this once per array rather than per lane
+    shared: bool = False
+
+    def power_mw(self, clock_ghz: float = 1.0) -> float:
+        """Dynamic power of this component at the given clock."""
+        return component_power_mw(self.area_um2, self.activity_class, clock_ghz)
+
+
+def component_power_mw(area_um2: float, activity_class: str, clock_ghz: float = 1.0) -> float:
+    """Dynamic power of ``area_um2`` of logic in the given class."""
+    try:
+        act = ACTIVITY[activity_class]
+    except KeyError:
+        raise ValueError(f"unknown activity class {activity_class!r}") from None
+    return area_um2 * act * POWER_DENSITY_MW_PER_UM2_GHZ * clock_ghz

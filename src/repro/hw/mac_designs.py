@@ -1,0 +1,230 @@
+"""Complete MAC designs — the rows of the paper's Table 2.
+
+Each builder assembles one MAC from :mod:`repro.hw.components` and
+reports a Table-2-style area breakdown:
+
+========  =====================================================
+column    contents
+========  =====================================================
+sng_reg   SNG register part (LFSR / Halton / ED regs; our FSM +
+          operand register)
+sng_combi SNG combinational part (comparator; our stream mux)
+mult      multiplier (binary array mult; XNOR; our down counter)
+ones_cnt  parallel counter / ones counter (bit-parallel designs)
+accum     accumulator (saturating up/down counter)
+========  =====================================================
+
+Components flagged ``shared`` are instantiated once per BISC-MVM (or,
+for the conventional-SC weight SNG, once per array) rather than per
+lane; :mod:`repro.hw.array` applies the sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw import components as comp
+from repro.hw.gates import AreaPower
+
+__all__ = [
+    "MacDesign",
+    "fixed_point_mac",
+    "lfsr_sc_mac",
+    "halton_sc_mac",
+    "ed_sc_mac",
+    "proposed_mac",
+    "TABLE2_COLUMNS",
+    "all_table2_designs",
+]
+
+TABLE2_COLUMNS = ("sng_reg", "sng_combi", "mult", "ones_cnt", "accum")
+
+
+@dataclass(frozen=True)
+class MacDesign:
+    """One MAC design point: components plus a latency model."""
+
+    name: str
+    family: str  #: "binary", "conv-sc" or "proposed"
+    precision: int  #: multiplier precision MP (sign included)
+    acc_bits: int
+    bit_parallel: int
+    parts: tuple[tuple[str, AreaPower], ...]  #: (table2 column, component)
+    #: per-array (not per-MAC) components, e.g. the shared weight SNG
+    array_parts: tuple[AreaPower, ...] = field(default=())
+
+    @property
+    def total_area_um2(self) -> float:
+        """Standalone per-MAC area (sharing not applied)."""
+        return sum(p.area_um2 for _, p in self.parts)
+
+    def breakdown(self) -> dict[str, float]:
+        """Table-2-style per-column areas plus the total."""
+        out = {c: 0.0 for c in TABLE2_COLUMNS}
+        for column, part in self.parts:
+            out[column] += part.area_um2
+        out["total"] = self.total_area_um2
+        return out
+
+    def shared_parts(self) -> list[AreaPower]:
+        """Components one BISC-MVM instantiates once for all lanes."""
+        return [p for _, p in self.parts if p.shared]
+
+    def lane_parts(self) -> list[AreaPower]:
+        """Components replicated per lane."""
+        return [p for _, p in self.parts if not p.shared]
+
+    def mac_latency_cycles(self, avg_mac_cycles: float | None = None) -> float:
+        """Average cycles per MAC.
+
+        ``avg_mac_cycles`` is the measured ``E[ceil(|2^(N-1)w| / b)]``
+        for data-dependent (proposed) designs; fixed-latency designs
+        ignore it.
+        """
+        if self.family == "binary":
+            return 1.0
+        if self.family == "conv-sc":
+            return float(1 << self.precision) / self.bit_parallel
+        if avg_mac_cycles is None:
+            raise ValueError("proposed design latency is data-dependent; pass avg_mac_cycles")
+        return float(avg_mac_cycles)
+
+
+def _accumulator(precision: int, acc_bits: int, widen: float = 1.0) -> AreaPower:
+    base = comp.up_down_counter(precision + acc_bits)
+    if widen == 1.0:
+        return base
+    return AreaPower(base.name, base.area_um2 * widen, base.activity_class)
+
+
+def fixed_point_mac(precision: int, acc_bits: int = 2) -> MacDesign:
+    """Binary fixed-point MAC: array multiplier + saturating accumulator."""
+    return MacDesign(
+        name="fixed-point",
+        family="binary",
+        precision=precision,
+        acc_bits=acc_bits,
+        bit_parallel=1,
+        parts=(
+            ("mult", comp.binary_multiplier(precision)),
+            ("accum", _accumulator(precision, acc_bits)),
+        ),
+    )
+
+
+def lfsr_sc_mac(precision: int, acc_bits: int = 2) -> MacDesign:
+    """Conventional SC MAC with an LFSR-based SNG.
+
+    The per-MAC SNG converts the data operand; the weight SNG is shared
+    across the whole array (Section 4.3) and appears in
+    ``array_parts``.
+    """
+    return MacDesign(
+        name="conv-sc-lfsr",
+        family="conv-sc",
+        precision=precision,
+        acc_bits=acc_bits,
+        bit_parallel=1,
+        parts=(
+            ("sng_reg", comp.lfsr(precision)),
+            ("sng_combi", comp.comparator(precision)),
+            ("mult", comp.xnor_gate()),
+            ("accum", _accumulator(precision, acc_bits)),
+        ),
+        array_parts=(comp.lfsr(precision), comp.comparator(precision)),
+    )
+
+
+def halton_sc_mac(precision: int, acc_bits: int = 2) -> MacDesign:
+    """Conventional SC MAC with a Halton-sequence SNG (Alaghi & Hayes)."""
+    return MacDesign(
+        name="conv-sc-halton",
+        family="conv-sc",
+        precision=precision,
+        acc_bits=acc_bits,
+        bit_parallel=1,
+        parts=(
+            ("sng_reg", comp.halton_generator_reg(precision)),
+            ("sng_combi", comp.halton_generator_combi(precision)),
+            ("mult", comp.xnor_gate()),
+            ("accum", _accumulator(precision, acc_bits)),
+        ),
+        array_parts=(comp.halton_generator_reg(precision), comp.halton_generator_combi(precision)),
+    )
+
+
+def ed_sc_mac(precision: int, acc_bits: int = 2, bits_per_cycle: int = 32) -> MacDesign:
+    """Conventional SC MAC with the even-distribution SNG of [9].
+
+    Bit-parallel: the SNG emits 32 stream bits per cycle, so the design
+    needs a bank of XNORs and a parallel counter, cutting latency 32x at
+    a steep area cost (the paper's Table 2, MP = 9 only).
+    """
+    return MacDesign(
+        name="conv-sc-ed",
+        family="conv-sc",
+        precision=precision,
+        acc_bits=acc_bits,
+        bit_parallel=bits_per_cycle,
+        parts=(
+            ("sng_reg", comp.ed_generator_reg(precision, bits_per_cycle)),
+            ("sng_combi", comp.ed_generator_combi(precision, bits_per_cycle)),
+            ("mult", comp.xnor_bank(bits_per_cycle)),
+            ("ones_cnt", comp.parallel_counter(bits_per_cycle)),
+            ("accum", _accumulator(precision, acc_bits, widen=1.2)),
+        ),
+    )
+
+
+def proposed_mac(precision: int, acc_bits: int = 2, bit_parallel: int = 1) -> MacDesign:
+    """The paper's SC-MAC: FSM + mux + down counter (+ ones counter).
+
+    The FSM and the down counter are ``shared`` — a BISC-MVM
+    instantiates them once for all ``p`` lanes, which is where the
+    vectorized design gets its extra cost advantage (Section 3.1).
+    """
+    if bit_parallel == 1:
+        parts = (
+            ("sng_reg", comp.fsm_sequencer(precision)),
+            ("sng_reg", comp.data_register(precision)),
+            ("sng_combi", comp.stream_mux(precision)),
+            ("mult", comp.down_counter(precision)),
+            ("accum", _accumulator(precision, acc_bits)),
+        )
+        name = "proposed-serial"
+    else:
+        parts = (
+            ("sng_reg", comp.fsm_sequencer(precision, bit_parallel)),
+            ("sng_reg", comp.data_register(precision)),
+            ("ones_cnt", comp.ones_counter(bit_parallel)),
+            ("mult", comp.down_counter(precision)),
+            ("accum", _accumulator(precision, acc_bits)),
+        )
+        name = f"proposed-{bit_parallel}b-par"
+    return MacDesign(
+        name=name,
+        family="proposed",
+        precision=precision,
+        acc_bits=acc_bits,
+        bit_parallel=bit_parallel,
+        parts=parts,
+    )
+
+
+def all_table2_designs() -> list[MacDesign]:
+    """Every design point of the paper's Table 2, in row order."""
+    designs = [
+        fixed_point_mac(5),
+        lfsr_sc_mac(5),
+        halton_sc_mac(5),
+        proposed_mac(5),
+        fixed_point_mac(9),
+        lfsr_sc_mac(9),
+        halton_sc_mac(9),
+        ed_sc_mac(9),
+        proposed_mac(9),
+        proposed_mac(9, bit_parallel=8),
+        proposed_mac(9, bit_parallel=16),
+        proposed_mac(9, bit_parallel=32),
+    ]
+    return designs

@@ -1,0 +1,135 @@
+"""On-chip buffer model — completing the accelerator of Section 3.3.
+
+The paper stresses that its accelerator's "on-chip memory sizes for
+input/output/weight buffers are exactly the same" as a binary
+accelerator's, *because* BISC stores binary numbers (the whole point of
+binary-interfaced SC: an SN bitstream would need ``2^N / N`` times the
+storage).  This module prices those buffers so whole-accelerator
+area/power can be reported, and quantifies the BISC storage argument.
+
+SRAM constants are first-order 45 nm figures (bit density and pJ/access
+of small single-port SRAM macros); like the logic model they carry the
+"calibrated analytical model, not silicon" caveat of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.conv_mapping import AcceleratorConfig
+
+__all__ = ["SramMacro", "BufferSet", "buffer_set_for", "sn_storage_blowup"]
+
+#: 45 nm single-port SRAM: ~0.5 um^2/bit including periphery (small macros)
+_SRAM_UM2_PER_BIT = 0.5
+#: dynamic read/write energy, pJ per bit accessed
+_SRAM_PJ_PER_BIT = 0.012
+#: leakage proxy: mW per mm^2 of SRAM
+_SRAM_LEAKAGE_MW_PER_MM2 = 15.0
+
+
+@dataclass(frozen=True)
+class SramMacro:
+    """One on-chip buffer."""
+
+    name: str
+    kilobytes: float
+
+    @property
+    def bits(self) -> float:
+        return self.kilobytes * 8192.0
+
+    @property
+    def area_um2(self) -> float:
+        return self.bits * _SRAM_UM2_PER_BIT
+
+    @property
+    def leakage_mw(self) -> float:
+        return self.area_um2 * 1e-6 * _SRAM_LEAKAGE_MW_PER_MM2
+
+    def access_energy_pj(self, bits: float) -> float:
+        """Dynamic energy to move ``bits`` through this buffer."""
+        return bits * _SRAM_PJ_PER_BIT
+
+
+@dataclass(frozen=True)
+class BufferSet:
+    """Input / weight / output buffers of one accelerator tile."""
+
+    input_buf: SramMacro
+    weight_buf: SramMacro
+    output_buf: SramMacro
+
+    @property
+    def total_area_um2(self) -> float:
+        return sum(m.area_um2 for m in (self.input_buf, self.weight_buf, self.output_buf))
+
+    @property
+    def total_kilobytes(self) -> float:
+        return sum(m.kilobytes for m in (self.input_buf, self.weight_buf, self.output_buf))
+
+    @property
+    def leakage_mw(self) -> float:
+        return sum(m.leakage_mw for m in (self.input_buf, self.weight_buf, self.output_buf))
+
+
+def buffer_set_for(
+    config: AcceleratorConfig,
+    max_channels: int = 64,
+    max_kernel: int = 5,
+    double_buffered: bool = True,
+) -> BufferSet:
+    """Size the buffers for a tiling, identically for all arithmetics.
+
+    Input buffer: the receptive field of one output tile over all input
+    channels; weight buffer: one ``T_M``-channel weight set; output
+    buffer: one output tile.  All words are ``N``-bit binary (the BISC
+    property); double buffering doubles each.
+    """
+    t = config.tiling
+    n_bytes = config.n_bits / 8.0
+    mult = 2.0 if double_buffered else 1.0
+    stride_pad = max_kernel - 1
+    in_words = max_channels * (t.t_r + stride_pad) * (t.t_c + stride_pad)
+    w_words = t.t_m * max_channels * max_kernel * max_kernel
+    out_words = t.t_m * t.t_r * t.t_c * (config.n_bits + config.acc_bits) / config.n_bits
+    return BufferSet(
+        input_buf=SramMacro("input", mult * in_words * n_bytes / 1024.0),
+        weight_buf=SramMacro("weight", mult * w_words * n_bytes / 1024.0),
+        output_buf=SramMacro("output", mult * out_words * n_bytes / 1024.0),
+    )
+
+
+def sn_storage_blowup(n_bits: int) -> float:
+    """Storage blow-up of stochastic vs binary representation.
+
+    An SN bitstream of full precision needs ``2^N`` bits where binary
+    needs ``N`` — the "exponentially longer SN bitstreams" of Section 1
+    that motivate BISC in the first place.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    return float(1 << n_bits) / n_bits
+
+
+def accelerator_totals(
+    config: AcceleratorConfig, array_area_um2: float, array_power_mw: float
+) -> dict[str, float]:
+    """Whole-accelerator area/power: MAC array + buffers.
+
+    The buffer contribution is *identical* across the binary,
+    conventional-SC and proposed arrays (same tiling, same binary
+    words), so comparisons of array-level metrics carry over — the
+    paper's argument for credible apples-to-apples comparison.
+    """
+    buffers = buffer_set_for(config)
+    return {
+        "array_area_mm2": array_area_um2 * 1e-6,
+        "buffer_area_mm2": buffers.total_area_um2 * 1e-6,
+        "total_area_mm2": (array_area_um2 + buffers.total_area_um2) * 1e-6,
+        "buffer_kilobytes": buffers.total_kilobytes,
+        "array_power_mw": array_power_mw,
+        "buffer_leakage_mw": buffers.leakage_mw,
+        "total_power_mw": array_power_mw + buffers.leakage_mw,
+    }

@@ -1,0 +1,77 @@
+"""Mini CNN framework — the Caffe stand-in for the paper's Fig. 6.
+
+Provides NCHW layers with float backward passes, an SGD trainer, and —
+the piece the paper actually needs — convolution layers whose forward
+matmul is delegated to a pluggable engine: exact float, N-bit
+fixed-point, conventional LFSR-based SC, or the proposed BISC-MVM.
+Fine-tuning with an approximate forward pass (Section 4.2) falls out of
+running the trainer after swapping engines.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.network import Network
+from repro.nn.trainer import SgdConfig, Trainer
+from repro.nn.engines import (
+    FixedPointEngine,
+    FloatEngine,
+    LfsrScEngine,
+    MatmulEngine,
+    ProposedScEngine,
+    TruncatedScEngine,
+    make_engine,
+)
+from repro.nn.calibration import (
+    LayerRanges,
+    attach_engines,
+    calibrate_conv_ranges,
+    pow2_ceil,
+)
+from repro.nn.metrics import (
+    classification_report,
+    confusion_matrix,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+from repro.nn.models import build_cifar_net, build_mnist_net
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "SoftmaxCrossEntropy",
+    "Network",
+    "Trainer",
+    "SgdConfig",
+    "MatmulEngine",
+    "FloatEngine",
+    "FixedPointEngine",
+    "LfsrScEngine",
+    "ProposedScEngine",
+    "TruncatedScEngine",
+    "make_engine",
+    "LayerRanges",
+    "pow2_ceil",
+    "calibrate_conv_ranges",
+    "attach_engines",
+    "build_mnist_net",
+    "build_cifar_net",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "top_k_accuracy",
+    "classification_report",
+]

@@ -1,0 +1,21 @@
+"""Layers of the mini CNN framework (the Caffe stand-in)."""
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.softmax import SoftmaxCrossEntropy
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "SoftmaxCrossEntropy",
+]

@@ -1,0 +1,51 @@
+"""Layer and parameter primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[:] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base layer: float backward, pluggable forward arithmetic.
+
+    ``forward`` must cache whatever ``backward`` needs.  ``backward``
+    receives the gradient w.r.t. the layer output and returns the
+    gradient w.r.t. the input, accumulating parameter gradients in
+    ``self.params`` — the straight-through convention that lets the
+    paper fine-tune with an approximate (fixed-point / SC) forward pass
+    and an exact backward pass.
+    """
+
+    def __init__(self) -> None:
+        self.params: list[Parameter] = []
+        self.training = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,39 @@
+"""Fully-connected layer (kept in float; the paper applies SC to conv
+layers only, with "no restriction on how the other layers are
+implemented")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W^T + b`` over ``(N, D)`` inputs."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        std = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, std, size=(out_features, in_features)), name="dense.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name="dense.bias")
+        self.params = [self.weight, self.bias]
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        self.weight.grad += grad.T @ self._x
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value

@@ -1,0 +1,26 @@
+"""Flatten NCHW feature maps into (N, D) vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Reshape ``(N, C, H, W)`` to ``(N, C*H*W)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        return grad.reshape(self._shape)

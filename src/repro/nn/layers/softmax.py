@@ -1,0 +1,39 @@
+"""Softmax + cross-entropy loss head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy with integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy loss of the batch."""
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        n = logits.shape[0]
+        return float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient w.r.t. the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n

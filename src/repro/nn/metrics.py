@@ -1,0 +1,59 @@
+"""Classification metrics beyond top-1 accuracy.
+
+Used by the examples and the Fig. 6 harness to report *where* the
+approximate arithmetics lose accuracy (which classes degrade first
+under precision loss), not just how much.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "per_class_accuracy", "top_k_accuracy", "classification_report"]
+
+
+def confusion_matrix(labels, predictions, num_classes: int | None = None) -> np.ndarray:
+    """``C[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    predictions = np.asarray(predictions, dtype=np.int64)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have equal shape")
+    if num_classes is None:
+        num_classes = int(max(labels.max(initial=0), predictions.max(initial=0))) + 1
+    out = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(out, (labels, predictions), 1)
+    return out
+
+
+def per_class_accuracy(labels, predictions, num_classes: int | None = None) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``labels``."""
+    cm = confusion_matrix(labels, predictions, num_classes)
+    totals = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(cm) / totals, np.nan)
+
+
+def top_k_accuracy(labels, logits, k: int = 5) -> float:
+    """Fraction of samples whose true class is among the top-k logits."""
+    labels = np.asarray(labels, dtype=np.int64)
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits must be (N, classes) matching labels")
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def classification_report(labels, predictions, num_classes: int | None = None) -> str:
+    """Compact text report: per-class recall plus overall accuracy."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    acc = per_class_accuracy(labels, predictions, num_classes)
+    lines = ["class  recall  support"]
+    for c, r in enumerate(acc):
+        support = int((labels == c).sum())
+        recall = "  n/a" if np.isnan(r) else f"{r:.3f}"
+        lines.append(f"{c:5d}  {recall:>6s}  {support:7d}")
+    overall = float((labels == predictions).mean()) if labels.size else float("nan")
+    lines.append(f"overall accuracy: {overall:.4f}")
+    return "\n".join(lines)

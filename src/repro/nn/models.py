@@ -1,0 +1,64 @@
+"""Network topologies mirroring the Caffe reference nets.
+
+The paper uses "the network definitions and training parameters
+included in the Caffe distribution": LeNet for MNIST and
+``cifar10_quick`` for CIFAR-10.  We mirror their layer sequences at
+reduced channel counts (documented in DESIGN.md) so that training fits
+a CPU-only session while preserving the property Fig. 6 measures:
+sensitivity of the conv layers to multiplier error at a given precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Network
+
+__all__ = ["build_mnist_net", "build_cifar_net"]
+
+
+def build_mnist_net(seed: int = 0, c1: int = 8, c2: int = 16, fc: int = 64) -> Network:
+    """LeNet-style MNIST net (Caffe ``lenet``: conv-pool-conv-pool-fc-relu-fc).
+
+    Input ``(N, 1, 28, 28)``; convolutions are linear (no interleaved
+    ReLU), exactly like the Caffe definition.
+    """
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Conv2D(1, c1, kernel=5, rng=rng),  # 28 -> 24
+            MaxPool2D(2),  # 24 -> 12
+            Conv2D(c1, c2, kernel=5, rng=rng),  # 12 -> 8
+            MaxPool2D(2),  # 8 -> 4
+            Flatten(),
+            Dense(c2 * 4 * 4, fc, rng=rng),
+            ReLU(),
+            Dense(fc, 10, rng=rng),
+        ]
+    )
+
+
+def build_cifar_net(seed: int = 0, c1: int = 16, c2: int = 16, c3: int = 32, fc: int = 64) -> Network:
+    """``cifar10_quick``-style net for 32x32 RGB inputs.
+
+    Caffe's quick net is conv-maxpool-relu, conv-relu-avgpool,
+    conv-relu-avgpool, fc, fc; pooling windows are 3x3 stride 2.
+    """
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Conv2D(3, c1, kernel=5, pad=2, rng=rng),  # 32 -> 32
+            MaxPool2D(3, stride=2),  # 32 -> 15
+            ReLU(),
+            Conv2D(c1, c2, kernel=5, pad=2, rng=rng),  # 15 -> 15
+            ReLU(),
+            AvgPool2D(3, stride=2),  # 15 -> 7
+            Conv2D(c2, c3, kernel=5, pad=2, rng=rng),  # 7 -> 7
+            ReLU(),
+            AvgPool2D(3, stride=2),  # 7 -> 3
+            Flatten(),
+            Dense(c3 * 3 * 3, fc, rng=rng),
+            Dense(fc, 10, rng=rng),
+        ]
+    )

@@ -1,0 +1,91 @@
+"""Sequential network container with swappable conv arithmetic."""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.softmax import SoftmaxCrossEntropy
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A feed-forward stack of layers with a softmax-CE head.
+
+    Besides the usual train/predict plumbing, the container exposes the
+    operations the experiments need: snapshot/restore of weights (to
+    fine-tune from a common float checkpoint) and re-pointing every
+    convolution layer at a different multiply engine.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = layers
+        self.loss_fn = SoftmaxCrossEntropy()
+
+    # -- forward / backward ------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return self.loss_fn.forward(self.forward(x), labels)
+
+    def backward(self) -> None:
+        grad = self.loss_fn.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # -- inference ----------------------------------------------------------
+    def predict(self, x: np.ndarray, batch: int = 256) -> np.ndarray:
+        """Predicted class indices, evaluated in batches."""
+        out = []
+        for i in range(0, x.shape[0], batch):
+            logits = self.forward(x[i : i + batch])
+            out.append(logits.argmax(axis=1))
+        return np.concatenate(out)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch: int = 256) -> float:
+        """Top-1 accuracy on the given set."""
+        return float((self.predict(x, batch=batch) == np.asarray(labels)).mean())
+
+    # -- parameters -----------------------------------------------------------
+    @property
+    def params(self):
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def conv_layers(self) -> list[Conv2D]:
+        return [layer for layer in self.layers if isinstance(layer, Conv2D)]
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Deep copy of all parameter tensors."""
+        return [p.value.copy() for p in self.params]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        """Restore parameters from :meth:`state_dict`."""
+        if len(state) != len(self.params):
+            raise ValueError("state size mismatch")
+        for p, v in zip(self.params, state):
+            if p.value.shape != v.shape:
+                raise ValueError(f"shape mismatch for {p.name}: {p.value.shape} vs {v.shape}")
+            p.value[...] = v
+
+    # -- engine management ----------------------------------------------------
+    def set_conv_engines(self, engines) -> None:
+        """Assign one engine per conv layer (or one shared engine)."""
+        convs = self.conv_layers
+        if not isinstance(engines, (list, tuple)):
+            engines = [copy.copy(engines) for _ in convs]
+        if len(engines) != len(convs):
+            raise ValueError(f"need {len(convs)} engines, got {len(engines)}")
+        for conv, engine in zip(convs, engines):
+            conv.engine = engine

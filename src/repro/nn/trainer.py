@@ -1,0 +1,95 @@
+"""SGD training / fine-tuning loop.
+
+Fine-tuning per Section 4.2 of the paper: after float training, the
+conv layers are re-pointed at a fixed-point or SC engine and training
+continues "with the same learning rate"; the forward pass uses the
+approximate arithmetic while the backward pass stays float (the
+straight-through behaviour of our Conv2D layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import Network
+
+__all__ = ["SgdConfig", "Trainer"]
+
+
+@dataclass
+class SgdConfig:
+    """Hyper-parameters of SGD with momentum."""
+
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 64
+    lr_decay: float = 1.0  #: multiplicative decay applied each epoch
+    grad_clip: float = 5.0  #: global grad-norm clip (0 disables)
+    seed: int = 0
+
+
+@dataclass
+class Trainer:
+    """Minibatch SGD driver for a :class:`~repro.nn.network.Network`."""
+
+    net: Network
+    config: SgdConfig = field(default_factory=SgdConfig)
+
+    def __post_init__(self) -> None:
+        self._velocity = [np.zeros_like(p.value) for p in self.net.params]
+        self._rng = np.random.default_rng(self.config.seed)
+        self._lr = self.config.lr
+
+    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One SGD step on a minibatch; returns the loss."""
+        cfg = self.config
+        self.net.zero_grad()
+        loss = self.net.loss(x, labels)
+        self.net.backward()
+        if cfg.grad_clip > 0:
+            total = float(
+                np.sqrt(sum(float((p.grad**2).sum()) for p in self.net.params))
+            )
+            if total > cfg.grad_clip:
+                scale = cfg.grad_clip / total
+                for p in self.net.params:
+                    p.grad *= scale
+        for p, v in zip(self.net.params, self._velocity):
+            g = p.grad + cfg.weight_decay * p.value
+            v *= cfg.momentum
+            v -= self._lr * g
+            p.value += v
+        return loss
+
+    def train(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 1,
+        max_iters: int | None = None,
+        log_every: int = 0,
+    ) -> list[float]:
+        """Train for ``epochs`` passes (optionally capped at ``max_iters``).
+
+        Returns the per-iteration loss history.
+        """
+        cfg = self.config
+        labels = np.asarray(labels)
+        history: list[float] = []
+        iters = 0
+        for _ in range(epochs):
+            order = self._rng.permutation(x.shape[0])
+            for i in range(0, x.shape[0], cfg.batch_size):
+                idx = order[i : i + cfg.batch_size]
+                loss = self.step(x[idx], labels[idx])
+                history.append(loss)
+                iters += 1
+                if log_every and iters % log_every == 0:
+                    print(f"iter {iters:5d}  loss {loss:.4f}")
+                if max_iters is not None and iters >= max_iters:
+                    return history
+            self._lr *= cfg.lr_decay
+        return history

@@ -1,0 +1,65 @@
+"""Stochastic-number bitstream helpers: value, correlation, sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sc.encoding import BIPOLAR, Encoding
+
+__all__ = ["sn_value", "sc_correlation", "stream_from_probability", "prefix_ones"]
+
+
+def sn_value(bits: np.ndarray, encoding: Encoding = Encoding.UNIPOLAR) -> float:
+    """Value of a stochastic number from its bitstream.
+
+    Unipolar value is the fraction of ones; bipolar is
+    ``2 * ones / len - 1``.
+    """
+    bits = np.asarray(bits)
+    if bits.size == 0:
+        raise ValueError("empty bitstream has no value")
+    p = float(bits.mean())
+    return 2.0 * p - 1.0 if encoding is BIPOLAR else p
+
+
+def prefix_ones(bits: np.ndarray) -> np.ndarray:
+    """Running count of ones: ``out[t]`` = ones in ``bits[:t+1]``."""
+    return np.cumsum(np.asarray(bits, dtype=np.int64))
+
+
+def sc_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """SC correlation (SCC) of two equal-length bitstreams.
+
+    SCC is 0 for independent streams, +1 for maximally overlapped ones
+    and -1 for maximally anti-overlapped ones (Alaghi & Hayes).  An AND
+    multiplier needs SCC ~= 0 to be accurate.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("bitstreams must have equal length")
+    n = a.size
+    pa, pb = a.mean(), b.mean()
+    pab = float((a * b).mean())
+    delta = pab - pa * pb
+    if delta > 0:
+        denom = min(pa, pb) - pa * pb
+    else:
+        denom = pa * pb - max(pa + pb - 1.0, 0.0)
+    if denom <= 0:
+        return 0.0
+    return float(delta / denom)
+
+
+def stream_from_probability(
+    p: float, length: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Ideal Bernoulli bitstream of the given signal probability.
+
+    A reference generator for tests: unlike any hardware SNG it has no
+    structural bias, only sampling noise.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability out of range: {p}")
+    rng = rng or np.random.default_rng()
+    return (rng.random(length) < p).astype(np.int64)

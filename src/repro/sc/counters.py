@@ -1,0 +1,104 @@
+"""Hardware-faithful counters for SN-to-BN conversion and accumulation.
+
+A plain bit-counter converts a unipolar SN to a BN; an up/down counter
+does the same for bipolar (Section 2.1).  The paper's accumulators are
+*saturating* up/down counters of width ``N + A`` (A = 2 extra bits for
+accumulation headroom, Section 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "UpDownCounter",
+    "SaturatingUpDownCounter",
+    "saturating_add",
+    "saturating_accumulate",
+]
+
+
+class UpDownCounter:
+    """Up/down counter: +1 on an input 1, -1 on an input 0.
+
+    Width is unbounded (a functional model); use
+    :class:`SaturatingUpDownCounter` for the hardware-faithful variant.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        self.value = int(initial)
+
+    def reset(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def step(self, bit: int) -> int:
+        """Clock one stream bit; return the new count."""
+        self.value += 1 if bit else -1
+        return self.value
+
+    def run(self, bits: np.ndarray) -> int:
+        """Clock a whole bitstream; return the final count."""
+        bits = np.asarray(bits, dtype=np.int64)
+        self.value += int(2 * bits.sum() - bits.size)
+        return self.value
+
+
+class SaturatingUpDownCounter:
+    """Saturating two's-complement up/down counter of ``width`` bits.
+
+    Clamps at ``[-2**(width-1), 2**(width-1) - 1]`` instead of wrapping,
+    matching the saturating accumulator the paper uses for both the SC
+    and fixed-point CNNs.
+    """
+
+    def __init__(self, width: int, initial: int = 0) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.lo = -(1 << (width - 1))
+        self.hi = (1 << (width - 1)) - 1
+        self.value = self._clamp(int(initial))
+
+    def _clamp(self, v: int) -> int:
+        return max(self.lo, min(self.hi, v))
+
+    def reset(self, value: int = 0) -> None:
+        self.value = self._clamp(int(value))
+
+    def step(self, bit: int) -> int:
+        """Clock one stream bit with saturation; return the new count."""
+        self.value = self._clamp(self.value + (1 if bit else -1))
+        return self.value
+
+    def add(self, delta: int) -> int:
+        """Add a signed amount with saturation (bit-parallel updates)."""
+        self.value = self._clamp(self.value + int(delta))
+        return self.value
+
+    def run(self, bits: np.ndarray) -> int:
+        """Clock a whole bitstream bit-by-bit (saturation is per cycle)."""
+        for bit in np.asarray(bits, dtype=np.int64):
+            self.step(int(bit))
+        return self.value
+
+
+def saturating_add(acc: np.ndarray, delta: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized one-step saturating add on integer arrays."""
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return np.clip(acc + delta, lo, hi)
+
+
+def saturating_accumulate(terms: np.ndarray, width: int, axis: int = 0) -> np.ndarray:
+    """Fold ``terms`` along ``axis`` through a saturating accumulator.
+
+    Saturation is applied after each term (matching an up/down counter
+    that saturates mid-accumulation), so the result depends on term
+    order — unlike a final clip.
+    """
+    terms = np.asarray(terms, dtype=np.int64)
+    terms = np.moveaxis(terms, axis, 0)
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    acc = np.zeros(terms.shape[1:], dtype=np.int64)
+    for term in terms:
+        acc = np.clip(acc + term, lo, hi)
+    return acc

@@ -1,0 +1,274 @@
+"""Conventional SC multipliers (AND / XNOR + counter), Fig. 1(a).
+
+These are the baselines of the paper: a pair of SNGs feeding a 1-gate
+multiplier, converted back to binary by a (up/down) counter.  Both
+cycle-level stream functions and fast exhaustive closed forms (for the
+Fig. 5 error sweeps and the CNN engines) are provided.
+
+Scale conventions
+-----------------
+* unipolar: operands are magnitudes ``w, x`` out of ``2**n``; the ones
+  count over ``2**n`` cycles estimates ``w * x / 2**n`` (the product in
+  the same ``n``-bit scale).
+* bipolar: operands are two's-complement ``w_int, x_int`` with real
+  values ``v / 2**(n-1)``; the up/down count over ``2**n`` cycles
+  estimates ``2 * w_int * x_int / 2**(n-1)``, i.e. **twice** the product
+  in output-LSB units.  :func:`bipolar_multiply_int` therefore halves
+  the count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.sc.counters import SaturatingUpDownCounter
+from repro.sc.encoding import to_offset_binary
+from repro.sc.sng import RandomSource
+
+__all__ = [
+    "unipolar_and_stream",
+    "bipolar_xnor_stream",
+    "unipolar_multiply_int",
+    "bipolar_multiply_int",
+    "pairwise_partial_counts",
+    "pairwise_partial_counts_from_streams",
+    "xnor_ones_from_counts",
+    "lfsr_ud_table",
+    "select_low_bias_seeds",
+    "ConventionalScMac",
+]
+
+
+def unipolar_and_stream(stream_w: np.ndarray, stream_x: np.ndarray) -> np.ndarray:
+    """Unipolar SC multiply: bitwise AND of the two streams."""
+    return np.asarray(stream_w, dtype=np.int64) & np.asarray(stream_x, dtype=np.int64)
+
+
+def bipolar_xnor_stream(stream_w: np.ndarray, stream_x: np.ndarray) -> np.ndarray:
+    """Bipolar SC multiply: bitwise XNOR of the two streams."""
+    a = np.asarray(stream_w, dtype=np.int64)
+    b = np.asarray(stream_x, dtype=np.int64)
+    return 1 - (a ^ b)
+
+
+def unipolar_multiply_int(
+    w: int,
+    x: int,
+    n_bits: int,
+    source_w: RandomSource,
+    source_x: RandomSource,
+    length: int | None = None,
+) -> int:
+    """One unipolar SC multiply; returns the ones count (product scale)."""
+    length = (1 << n_bits) if length is None else length
+    sw = (source_w.sequence(length) < w).astype(np.int64)
+    sx = (source_x.sequence(length) < x).astype(np.int64)
+    return int(unipolar_and_stream(sw, sx).sum())
+
+
+def bipolar_multiply_int(
+    w_int: int,
+    x_int: int,
+    n_bits: int,
+    source_w: RandomSource,
+    source_x: RandomSource,
+    length: int | None = None,
+) -> float:
+    """One bipolar SC multiply; returns the product in output-LSB units.
+
+    The result approximates ``w_int * x_int / 2**(n_bits - 1)`` and may
+    be half-integral (the up/down count is halved; hardware drops that
+    LSB when it writes the BN back).
+    """
+    length = (1 << n_bits) if length is None else length
+    w_off = to_offset_binary(w_int, n_bits)
+    x_off = to_offset_binary(x_int, n_bits)
+    sw = (source_w.sequence(length) < w_off).astype(np.int64)
+    sx = (source_x.sequence(length) < x_off).astype(np.int64)
+    ones = int(bipolar_xnor_stream(sw, sx).sum())
+    ud = 2 * ones - length
+    # ud / length estimates the value-domain product; scale to output LSBs.
+    return ud / length * (1 << (n_bits - 1))
+
+
+def pairwise_partial_counts_from_streams(
+    bits_w: np.ndarray,
+    bits_x: np.ndarray,
+    checkpoints: np.ndarray | list[int],
+) -> dict[str, np.ndarray]:
+    """XNOR ones counts for all stream-row pairs and prefix lengths.
+
+    ``bits_w`` and ``bits_x`` are 0/1 matrices of shape ``(V, T)`` whose
+    rows are the bitstreams of each representable operand value.  Like
+    :func:`pairwise_partial_counts` but for generators (e.g. the ED
+    rate streams) whose bitstream is not a comparator output of one
+    shared random sequence.
+    """
+    checkpoints = np.asarray(checkpoints, dtype=np.int64)
+    t_max = bits_w.shape[1]
+    if checkpoints.size and checkpoints.max() > t_max:
+        raise ValueError("checkpoint beyond provided stream length")
+    if bits_w.shape[1] != bits_x.shape[1]:
+        raise ValueError("streams must have equal length")
+    a = np.asarray(bits_w, dtype=np.float32)
+    b = np.asarray(bits_x, dtype=np.float32)
+    out = np.empty((checkpoints.size, a.shape[0], b.shape[0]), dtype=np.int64)
+    ones_w = np.empty((checkpoints.size, a.shape[0]), dtype=np.int64)
+    ones_x = np.empty((checkpoints.size, b.shape[0]), dtype=np.int64)
+    for ci, t in enumerate(checkpoints):
+        at, bt = a[:, :t], b[:, :t]
+        sa = at.sum(axis=1).astype(np.int64)
+        sb = bt.sum(axis=1).astype(np.int64)
+        sab = np.rint(at @ bt.T).astype(np.int64)
+        out[ci] = int(t) - sa[:, None] - sb[None, :] + 2 * sab
+        ones_w[ci] = sa
+        ones_x[ci] = sb
+    return {"ones": out, "ones_w": ones_w, "ones_x": ones_x}
+
+
+def pairwise_partial_counts(
+    rand_w: np.ndarray,
+    rand_x: np.ndarray,
+    n_bits: int,
+    checkpoints: np.ndarray | list[int],
+) -> dict[str, np.ndarray]:
+    """Exhaustive XNOR ones counts for *all* magnitude pairs and prefixes.
+
+    For every pair of magnitudes ``(u, v)`` in ``[0, 2**n]**2`` and every
+    prefix length ``T`` in ``checkpoints``, computes the number of ones
+    the XNOR multiplier produces in the first ``T`` cycles, given the two
+    shared random sequences ``rand_w`` / ``rand_x`` (one per operand, as
+    in shared-SNG hardware).
+
+    Returns a dict with:
+
+    ``ones``
+        int64 array of shape ``(len(checkpoints), 2**n + 1, 2**n + 1)``;
+        ``ones[c, u, v]`` is the XNOR ones count for weight-magnitude
+        ``u`` and data-magnitude ``v``.
+    ``ones_w`` / ``ones_x``
+        per-operand prefix ones counts, shape ``(len(checkpoints), 2**n+1)``.
+
+    The closed form uses ``#XNOR = T - #a - #b + 2 * #(a AND b)`` and one
+    matrix product per checkpoint, so the full 10-bit sweep (1M pairs x
+    1024 cycles) runs in seconds.
+    """
+    mags = np.arange((1 << n_bits) + 1, dtype=np.int64)
+    a = (np.asarray(rand_w)[None, :] < mags[:, None]).astype(np.int64)
+    b = (np.asarray(rand_x)[None, :] < mags[:, None]).astype(np.int64)
+    return pairwise_partial_counts_from_streams(a, b, checkpoints)
+
+
+def xnor_ones_from_counts(t: int, ones_a: int, ones_b: int, ones_ab: int) -> int:
+    """XNOR ones count from AND statistics (inclusion-exclusion)."""
+    return t - ones_a - ones_b + 2 * ones_ab
+
+
+@lru_cache(maxsize=16)
+def lfsr_ud_table(n_bits: int, seed_w: int, seed_x: int) -> np.ndarray:
+    """Up/down counts of the shared-LFSR XNOR multiplier, all pairs.
+
+    ``table[w_off, x_off]`` is the up/down count after ``2**n`` cycles
+    for offset-binary operands, i.e. **twice** the product in output-LSB
+    units.  The two LFSRs use different maximal polynomials
+    (:class:`repro.sc.lfsr.Lfsr` with ``alternate=True`` for ``x``).
+    """
+    from repro.sc.lfsr import Lfsr  # local import to avoid a cycle
+
+    length = 1 << n_bits
+    rand_w = Lfsr(n_bits, seed=seed_w).sequence(length)
+    rand_x = Lfsr(n_bits, seed=seed_x, alternate=True).sequence(length)
+    counts = pairwise_partial_counts(rand_w, rand_x, n_bits, [length])
+    return (2 * counts["ones"][0] - length).astype(np.int64)
+
+
+@lru_cache(maxsize=8)
+def select_low_bias_seeds(n_bits: int, candidates: int = 48) -> tuple[int, int]:
+    """Deterministically pick a low-bias LFSR seed pair.
+
+    Two maximal LFSRs with arbitrary seeds can be strongly correlated,
+    which biases the XNOR multiplier far beyond its inherent sampling
+    noise; a real design picks its seed pair by simulation, and so do
+    we: scan evenly spaced relative phases and keep the pair whose
+    exhaustive multiply LUT minimizes ``4 * |bias| + std`` (bias is
+    weighted heavily because it accumulates coherently over deep dot
+    products).
+    """
+    length = 1 << n_bits
+    half = 1 << (n_bits - 1)
+    w = np.arange(-half, half)
+    truth = 2.0 * w[:, None] * w[None, :] / half  # ud-units reference
+    step = max(1, (length - 1) // candidates)
+    best: tuple[float, int, int] | None = None
+    for seed_x in range(1, length, step):
+        tbl = lfsr_ud_table(n_bits, 1, seed_x)
+        est = tbl[half + w[:, None], half + w[None, :]]
+        err = (est - truth) / 2.0
+        score = 4.0 * abs(float(err.mean())) + float(err.std())
+        if best is None or score < best[0]:
+            best = (score, 1, seed_x)
+    lfsr_ud_table.cache_clear()  # drop the scan's scratch tables
+    assert best is not None
+    return best[1], best[2]
+
+
+@dataclass
+class ConventionalScMac:
+    """Cycle-level conventional bipolar SC-MAC (Fig. 1(a) + accumulator).
+
+    Each :meth:`mac` call streams one ``w * x`` product over ``2**n``
+    cycles through the XNOR gate into a saturating up/down counter, so a
+    dot product of ``d`` terms takes ``d * 2**n`` cycles — the latency
+    baseline the paper's speedups are measured against.
+
+    The internal counter counts raw stream bits, i.e. holds **twice**
+    the accumulated product in output-LSB units; :attr:`result_int`
+    applies the final halving.
+
+    Parameters
+    ----------
+    n_bits:
+        Multiplier precision (including sign).
+    acc_bits:
+        Extra accumulation headroom bits ``A`` (paper uses 2).
+    source_w, source_x:
+        Random sources for the two SNGs; must be independent for the
+        multiplier to work.
+    """
+
+    n_bits: int
+    source_w: RandomSource
+    source_x: RandomSource
+    acc_bits: int = 2
+    counter: SaturatingUpDownCounter = field(init=False)
+    cycles: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        # +1 because the raw up/down count is 2x the product scale.
+        self.counter = SaturatingUpDownCounter(self.n_bits + self.acc_bits + 1)
+
+    def reset(self) -> None:
+        """Clear the accumulator and rewind both SNGs."""
+        self.counter.reset()
+        self.source_w.reset()
+        self.source_x.reset()
+        self.cycles = 0
+
+    def mac(self, w_int: int, x_int: int) -> None:
+        """Accumulate one product; costs ``2**n_bits`` cycles."""
+        length = 1 << self.n_bits
+        w_off = to_offset_binary(w_int, self.n_bits)
+        x_off = to_offset_binary(x_int, self.n_bits)
+        sw = (self.source_w.sequence(length) < w_off).astype(np.int64)
+        sx = (self.source_x.sequence(length) < x_off).astype(np.int64)
+        for bit in bipolar_xnor_stream(sw, sx):
+            self.counter.step(int(bit))
+        self.cycles += length
+
+    @property
+    def result_int(self) -> float:
+        """Accumulated dot product in output-LSB (``2**-(n-1)``) units."""
+        return self.counter.value / 2.0

@@ -1,0 +1,108 @@
+"""Stochastic stream operators beyond multiplication.
+
+The standard SC operator zoo (Alaghi & Hayes's survey, the paper's
+ref. [1]), implemented on bit arrays so circuits like the edge detector
+or an LDPC-style pipeline can be composed from library parts:
+
+* :func:`scaled_add` — MUX adder: ``(a + b) / 2`` for any encoding;
+* :func:`saturating_add` — OR adder: ``min(a + b, 1)`` for unipolar
+  streams (accurate when ``a * b`` is small);
+* :func:`absolute_difference` — XOR on *correlated* unipolar streams;
+* :func:`complement` — NOT gate: ``1 - a`` unipolar / ``-a`` bipolar;
+* :func:`bipolar_negate` — alias of :func:`complement` for readability;
+* :func:`scaled_sub` — MUX with an inverted input: ``(a - b) / 2``
+  bipolar;
+* :func:`stream_min` / :func:`stream_max` — AND / OR on correlated
+  unipolar streams.
+
+Every function is a pure bitwise map, so all are exact in probability
+for ideal inputs; accuracy on real generated streams is a property of
+the *streams* (correlation, discrepancy), which is what
+:mod:`repro.analysis.correlation` measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "scaled_add",
+    "scaled_sub",
+    "saturating_add",
+    "absolute_difference",
+    "complement",
+    "bipolar_negate",
+    "stream_min",
+    "stream_max",
+]
+
+
+def _as_bits(*streams: np.ndarray) -> list[np.ndarray]:
+    out = []
+    shape = None
+    for s in streams:
+        arr = np.asarray(s, dtype=np.int64)
+        if shape is None:
+            shape = arr.shape
+        elif arr.shape != shape:
+            raise ValueError("streams must have identical shapes")
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise ValueError("streams must be 0/1 bit arrays")
+        out.append(arr)
+    return out
+
+
+def scaled_add(a: np.ndarray, b: np.ndarray, select: np.ndarray) -> np.ndarray:
+    """MUX adder: value ``(a + b) / 2`` when ``P(select) = 1/2``.
+
+    Works for both encodings; the halving is the price of staying in
+    range, and the ``select`` stream must be independent of the inputs.
+    """
+    a, b, select = _as_bits(a, b, select)
+    return np.where(select.astype(bool), a, b)
+
+
+def scaled_sub(a: np.ndarray, b: np.ndarray, select: np.ndarray) -> np.ndarray:
+    """Bipolar MUX subtractor: value ``(a - b) / 2`` (negates ``b`` by NOT)."""
+    a, b, select = _as_bits(a, b, select)
+    return np.where(select.astype(bool), a, 1 - b)
+
+
+def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """OR adder: unipolar ``a + b - a*b ~= min(a + b, 1)``."""
+    a, b = _as_bits(a, b)
+    return a | b
+
+
+def absolute_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """XOR: ``|a - b|`` for unipolar streams sharing one random source.
+
+    With a shared comparator source the smaller-valued stream's 1s are
+    a subset of the larger's, making the XOR count exactly the value
+    difference — the subtractor inside the Roberts-cross detector.
+    """
+    a, b = _as_bits(a, b)
+    return a ^ b
+
+
+def complement(a: np.ndarray) -> np.ndarray:
+    """NOT gate: ``1 - a`` unipolar, ``-a`` bipolar."""
+    (a,) = _as_bits(a)
+    return 1 - a
+
+
+def bipolar_negate(a: np.ndarray) -> np.ndarray:
+    """Negation of a bipolar stream (same gate as :func:`complement`)."""
+    return complement(a)
+
+
+def stream_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """AND of correlated unipolar streams: ``min(a, b)``."""
+    a, b = _as_bits(a, b)
+    return a & b
+
+
+def stream_max(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """OR of correlated unipolar streams: ``max(a, b)``."""
+    a, b = _as_bits(a, b)
+    return a | b

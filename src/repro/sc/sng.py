@@ -1,0 +1,232 @@
+"""Stochastic number generators (SNGs) — BN-to-SN converters.
+
+An SNG (Section 2.1 of the paper) pairs a random-number source with a
+comparator: each cycle it emits 1 when ``random < value``.  The choice
+of source determines accuracy and hardware cost:
+
+* :class:`LfsrSource` — the conventional LFSR-based SNG.
+* :class:`HaltonRng` — Halton low-discrepancy source (Alaghi & Hayes).
+* :class:`SobolLikeSource` — bit-reversed binary counter (van der
+  Corput base 2), the deterministic core shared by many
+  low-discrepancy SNG proposals.
+* :class:`CounterSource` — a plain binary counter; emitting
+  ``value`` ones *first* (a sorted, fully deterministic stream).  This
+  is what the reordering argument of Fig. 1(b) produces for ``w``.
+
+For bipolar (signed) operands the input must first be converted to
+offset binary (:func:`repro.sc.encoding.to_offset_binary`); the SNG
+itself always compares unsigned magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sc.encoding import BIPOLAR, Encoding, to_offset_binary
+from repro.sc.halton import HaltonSource
+from repro.sc.lfsr import Lfsr
+
+__all__ = [
+    "RandomSource",
+    "LfsrSource",
+    "HaltonRng",
+    "CounterSource",
+    "SobolLikeSource",
+    "Sng",
+    "WbgSng",
+    "comparator_stream",
+]
+
+
+@runtime_checkable
+class RandomSource(Protocol):
+    """Anything that can feed the comparator of an SNG."""
+
+    n_bits: int
+
+    def reset(self) -> None:
+        """Rewind to the initial state."""
+        ...  # pragma: no cover - protocol
+
+    def sequence(self, length: int) -> np.ndarray:
+        """Return the next ``length`` integers in ``[0, 2**n_bits)``."""
+        ...  # pragma: no cover - protocol
+
+
+class LfsrSource:
+    """LFSR-backed random source (the conventional SNG core)."""
+
+    def __init__(
+        self,
+        n_bits: int,
+        seed: int = 1,
+        alternate: bool = False,
+        taps: tuple[int, ...] | None = None,
+    ) -> None:
+        self.n_bits = n_bits
+        self._lfsr = Lfsr(n_bits, seed=seed, alternate=alternate, taps=taps)
+
+    def reset(self) -> None:
+        self._lfsr.reset()
+
+    def sequence(self, length: int) -> np.ndarray:
+        return self._lfsr.sequence(length)
+
+
+class HaltonRng(HaltonSource):
+    """Halton source under the SNG random-source interface."""
+
+
+class CounterSource:
+    """Plain binary up-counter source, starting at 0.
+
+    Compared against a value ``k`` it yields ``k`` ones followed by
+    ``2**n - k`` zeros — the "all 1s first" stream of Fig. 1(b).
+    """
+
+    def __init__(self, n_bits: int, start: int = 0) -> None:
+        self.n_bits = n_bits
+        self._start = start
+        self._state = start
+
+    def reset(self) -> None:
+        self._state = self._start
+
+    def sequence(self, length: int) -> np.ndarray:
+        period = 1 << self.n_bits
+        out = (self._state + np.arange(length, dtype=np.int64)) % period
+        self._state = int((self._state + length) % period)
+        return out
+
+
+class SobolLikeSource:
+    """Bit-reversed binary counter (van der Corput base 2).
+
+    Reversing the bits of an up-counter yields the lowest-discrepancy
+    deterministic permutation of ``0 .. 2**n - 1``; it equals the
+    base-2 Halton sequence scaled to integers and is the usual
+    hardware-friendly low-discrepancy source.
+    """
+
+    def __init__(self, n_bits: int, start: int = 0) -> None:
+        self.n_bits = n_bits
+        self._start = start
+        self._state = start
+
+    def reset(self) -> None:
+        self._state = self._start
+
+    def sequence(self, length: int) -> np.ndarray:
+        period = 1 << self.n_bits
+        counts = (self._state + np.arange(length, dtype=np.int64)) % period
+        self._state = int((self._state + length) % period)
+        return _bit_reverse(counts, self.n_bits)
+
+
+def _bit_reverse(values: np.ndarray, n_bits: int) -> np.ndarray:
+    out = np.zeros_like(values)
+    v = values.copy()
+    for _ in range(n_bits):
+        out = (out << 1) | (v & 1)
+        v >>= 1
+    return out
+
+
+def comparator_stream(random_values: np.ndarray, magnitude: int) -> np.ndarray:
+    """Comparator half of an SNG: 1 where ``random < magnitude``."""
+    return (np.asarray(random_values, dtype=np.int64) < magnitude).astype(np.int64)
+
+
+class WbgSng:
+    """Weighted binary generator (Gupta & Kumaresan) — comparator-free SNG.
+
+    Classic alternative to the LFSR+comparator: ``n`` mutually exclusive
+    weight signals ``w_i`` are derived from the random word's bits
+    (``w_{n-1} = r_{n-1}``, ``w_{n-2} = !r_{n-1} & r_{n-2}``, ...), so
+    ``P(w_i) = 2^{i-n}``; the output ``OR_i (w_i AND x_i)`` then has
+    probability exactly ``x / 2^n`` for uniform random words.  With an
+    LFSR source the result is deterministic and slightly biased, like
+    real hardware.
+    """
+
+    def __init__(self, source: RandomSource) -> None:
+        self.source = source
+
+    @property
+    def n_bits(self) -> int:
+        return self.source.n_bits
+
+    def reset(self) -> None:
+        self.source.reset()
+
+    def generate(self, value: int, length: int) -> np.ndarray:
+        """Emit ``length`` stream bits for an unsigned ``value``."""
+        n = self.n_bits
+        if not 0 <= value < (1 << n):
+            raise ValueError(f"value {value} out of {n}-bit unsigned range")
+        rand = self.source.sequence(length)
+        out = np.zeros(length, dtype=np.int64)
+        taken = np.zeros(length, dtype=bool)
+        # scan from the MSB down: the first set random bit selects x_i
+        for i in range(n - 1, -1, -1):
+            w_i = ((rand >> i) & 1).astype(bool) & ~taken
+            taken |= w_i
+            if (value >> i) & 1:
+                out[w_i] = 1
+        return out
+
+
+class Sng:
+    """A complete BN-to-SN converter: random source + comparator.
+
+    Parameters
+    ----------
+    source:
+        Any :class:`RandomSource`.
+    encoding:
+        :data:`~repro.sc.encoding.UNIPOLAR` inputs are unsigned
+        magnitudes; :data:`~repro.sc.encoding.BIPOLAR` inputs are
+        two's-complement integers and are offset-binary converted before
+        comparison.
+
+    >>> sng = Sng(CounterSource(3))
+    >>> sng.generate(5, 8).tolist()
+    [1, 1, 1, 1, 1, 0, 0, 0]
+    """
+
+    def __init__(self, source: RandomSource, encoding: Encoding = Encoding.UNIPOLAR) -> None:
+        self.source = source
+        self.encoding = encoding
+
+    @property
+    def n_bits(self) -> int:
+        """Precision of the converter."""
+        return self.source.n_bits
+
+    def reset(self) -> None:
+        """Rewind the random source."""
+        self.source.reset()
+
+    def generate(self, value: int, length: int) -> np.ndarray:
+        """Emit the next ``length`` stream bits for ``value``."""
+        magnitude = (
+            to_offset_binary(value, self.n_bits) if self.encoding is BIPOLAR else int(value)
+        )
+        if not 0 <= magnitude <= (1 << self.n_bits):
+            raise ValueError(f"magnitude {magnitude} out of range for {self.n_bits} bits")
+        return comparator_stream(self.source.sequence(length), magnitude)
+
+    def generate_all_values(self, length: int) -> np.ndarray:
+        """Stream bits for *every* representable magnitude at once.
+
+        Returns an array of shape ``(2**n_bits + 1, length)`` whose row
+        ``m`` is the stream for magnitude ``m`` — all rows share the
+        same random sequence, exactly like a shared-source SNG in
+        hardware.  Used by the exhaustive Fig. 5 sweeps.
+        """
+        self.reset()
+        rand = self.source.sequence(length)
+        mags = np.arange((1 << self.n_bits) + 1, dtype=np.int64)
+        return (rand[None, :] < mags[:, None]).astype(np.int64)

@@ -1,0 +1,45 @@
+"""Tests for convergence summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_summary, cycles_to_reach
+from repro.analysis.error_stats import ErrorStats
+
+
+def fake_stats(name, stds):
+    cps = 2 ** np.arange(len(stds))
+    z = np.zeros(len(stds))
+    return ErrorStats(name, 5, cps, z, np.asarray(stds, dtype=float), z + 1)
+
+
+class TestCyclesToReach:
+    def test_first_hit(self):
+        s = fake_stats("a", [0.5, 0.2, 0.05])
+        assert cycles_to_reach(s, 0.2) == 2.0
+
+    def test_never_reached(self):
+        s = fake_stats("a", [0.5, 0.4])
+        assert cycles_to_reach(s, 0.01) == float("inf")
+
+
+class TestSummary:
+    def test_default_target_is_best_conventional(self):
+        stats = {
+            "lfsr": fake_stats("lfsr", [0.5, 0.3, 0.2]),
+            "halton": fake_stats("halton", [0.4, 0.2, 0.1]),
+            "proposed": fake_stats("proposed", [0.2, 0.08, 0.03]),
+        }
+        out = convergence_summary(stats)
+        assert out["proposed"]["target_std"] == pytest.approx(0.1)
+        assert out["proposed"]["cycles_to_target"] == 2.0  # reaches it 2 cps early
+        assert out["halton"]["cycles_to_target"] == 4.0
+
+    def test_requires_conventional_for_default(self):
+        with pytest.raises(ValueError):
+            convergence_summary({"proposed": fake_stats("proposed", [0.1])})
+
+    def test_explicit_target(self):
+        stats = {"lfsr": fake_stats("lfsr", [0.5, 0.3])}
+        out = convergence_summary(stats, std_target=0.35)
+        assert out["lfsr"]["cycles_to_target"] == 2.0

@@ -1,0 +1,48 @@
+"""Tests for stream-correlation analysis."""
+
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_error_scan,
+    scc_matrix,
+    shared_source_penalty,
+)
+
+
+class TestSccMatrix:
+    def test_shared_source_is_maximally_correlated(self):
+        # identical sources give SCC == 1 except for degenerate
+        # all-zero streams (magnitude 1 with an LFSR that skips 0)
+        pc = scc_matrix("lfsr", "lfsr", n_bits=6)
+        assert pc.mean_abs_scc > 0.8
+        assert pc.max_abs_scc == pytest.approx(1.0)
+
+    def test_independent_sources_weakly_correlated(self):
+        pc = scc_matrix("lfsr", "lfsr-alt", n_bits=6)
+        assert pc.mean_abs_scc < 0.5
+        assert pc.mean_abs_scc < scc_matrix("lfsr", "lfsr", 6).mean_abs_scc
+
+    def test_halton_pair_low_correlation(self):
+        """Bases 2 and 3 (the paper's footnote 3) are a good pairing."""
+        pc = scc_matrix("halton2", "halton3", n_bits=6)
+        assert pc.mean_abs_scc < 0.45
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            scc_matrix("xorshift", "lfsr", 6)
+
+    def test_label(self):
+        assert scc_matrix("lfsr", "halton2", 5).label == "lfsr/halton2"
+
+
+class TestSharedSourcePenalty:
+    def test_sharing_inflates_error(self):
+        out = shared_source_penalty(n_bits=6)
+        assert out["penalty_factor"] > 3.0
+        assert out["shared"] > out["independent"]
+
+
+class TestCorrelationErrorScan:
+    def test_error_tracks_correlation(self):
+        """|SCC| and multiply error are positively correlated."""
+        assert correlation_error_scan(n_bits=6, pairs=150) > 0.2

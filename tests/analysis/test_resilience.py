@@ -1,0 +1,84 @@
+"""Tests for fault injection and the resilience sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.resilience import (
+    FaultConfig,
+    inject_binary_product_faults,
+    inject_stream_faults,
+    resilience_sweep,
+)
+from repro.core.signed import bisc_multiply_signed
+
+
+class TestFaultConfig:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(upset_probability=1.5)
+
+
+class TestBinaryFaults:
+    def test_zero_rate_is_clean(self, rng):
+        w = rng.integers(-128, 128, size=500)
+        x = rng.integers(-128, 128, size=500)
+        cfg = FaultConfig(n_bits=8, upset_probability=0.0)
+        got = inject_binary_product_faults(w, x, cfg)
+        assert np.allclose(got, w * x / 128.0)
+
+    def test_corruption_can_be_large(self, rng):
+        w = rng.integers(-128, 128, size=5000)
+        x = rng.integers(-128, 128, size=5000)
+        cfg = FaultConfig(n_bits=8, upset_probability=1.0)
+        got = inject_binary_product_faults(w, x, cfg)
+        err = np.abs(got - w * x / 128.0)
+        assert err.max() >= 64.0  # an MSB flip moves the result massively
+
+    def test_deterministic_under_seed(self, rng):
+        w = rng.integers(-128, 128, size=100)
+        x = rng.integers(-128, 128, size=100)
+        cfg = FaultConfig(n_bits=8, upset_probability=0.5, seed=3)
+        a = inject_binary_product_faults(w, x, cfg)
+        b = inject_binary_product_faults(w, x, cfg)
+        assert np.array_equal(a, b)
+
+
+class TestStreamFaults:
+    def test_zero_rate_is_clean(self, rng):
+        w = rng.integers(-128, 128, size=300)
+        x = rng.integers(-128, 128, size=300)
+        cfg = FaultConfig(n_bits=8, upset_probability=0.0)
+        got = inject_stream_faults(w, x, cfg)
+        assert np.array_equal(got, bisc_multiply_signed(w, x, 8))
+
+    def test_corruption_bounded_by_two_per_cycle(self, rng):
+        """Even at upset rate 1.0 the damage is at most 2 * |w| LSBs."""
+        w = rng.integers(-128, 128, size=2000)
+        x = rng.integers(-128, 128, size=2000)
+        cfg = FaultConfig(n_bits=8, upset_probability=1.0)
+        got = inject_stream_faults(w, x, cfg)
+        clean = bisc_multiply_signed(w, x, 8)
+        assert (np.abs(got - clean) <= 2 * np.abs(w)).all()
+
+    def test_range_check(self):
+        cfg = FaultConfig(n_bits=4)
+        with pytest.raises(ValueError):
+            inject_stream_faults(np.array([20]), np.array([0]), cfg)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return resilience_sweep(n_bits=8, samples=3000)
+
+    def test_corruption_grows_with_rate(self, rows):
+        sc = [r["rms_corruption_proposed_lsb"] for r in rows]
+        assert sc == sorted(sc)
+
+    def test_sc_worst_case_far_below_binary(self, rows):
+        """The error-tolerance claim: SC bounds the worst case."""
+        worst = rows[-1]  # highest upset rate
+        assert worst["max_corruption_binary_lsb"] > 4 * worst["max_corruption_proposed_lsb"]
+
+    def test_row_keys(self, rows):
+        assert {"upset_probability", "rms_corruption_binary_lsb", "avg_sc_cycles"} <= set(rows[0])

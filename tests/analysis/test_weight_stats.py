@@ -1,0 +1,68 @@
+"""Tests for weight-distribution latency statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.weight_stats import (
+    laplace_weights_for_target_latency,
+    network_weight_stats,
+    weight_latency_stats,
+)
+from repro.nn import build_mnist_net
+
+
+class TestWeightLatency:
+    def test_known_values(self):
+        w = np.array([0.5, -0.25, 0.0])  # N=5: k = 8, 4, 0
+        s = weight_latency_stats(w, 5)
+        assert s.avg_cycles == pytest.approx(4.0)
+        assert s.max_cycles == 8
+        assert s.speedup_vs_conventional == pytest.approx(8.0)
+
+    def test_bit_parallel(self):
+        w = np.array([0.5])
+        s = weight_latency_stats(w, 5, bit_parallel=3)
+        assert s.avg_cycles == pytest.approx(3.0)
+
+    def test_w_scale_applied(self):
+        w = np.array([1.0])
+        s = weight_latency_stats(w, 5, w_scale=2.0)  # 0.5 -> k=8
+        assert s.max_cycles == 8
+
+    def test_bell_shape_beats_uniform(self):
+        """The Section 3.2 argument: bell-shaped weights are faster."""
+        rng = np.random.default_rng(0)
+        bell = rng.laplace(scale=0.05, size=4000).clip(-0.99, 0.99)
+        uniform = rng.uniform(-1, 1, size=4000)
+        assert (
+            weight_latency_stats(bell, 8).avg_cycles
+            < weight_latency_stats(uniform, 8).avg_cycles / 3
+        )
+
+    def test_as_dict(self):
+        d = weight_latency_stats(np.array([0.1]), 6).as_dict()
+        assert "speedup_vs_conventional" in d
+
+
+class TestNetworkStats:
+    def test_per_layer(self):
+        net = build_mnist_net(seed=0)
+        stats = network_weight_stats(net, 8)
+        assert len(stats) == 2
+        assert all(s.avg_cycles >= 0 for s in stats)
+
+    def test_scale_count_mismatch(self):
+        net = build_mnist_net(seed=0)
+        with pytest.raises(ValueError):
+            network_weight_stats(net, 8, w_scales=[1.0])
+
+
+class TestLaplaceMatcher:
+    def test_target_reached(self):
+        w = laplace_weights_for_target_latency(7.7, 9)
+        got = weight_latency_stats(w, 9).avg_cycles
+        assert got == pytest.approx(7.7, rel=0.15)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            laplace_weights_for_target_latency(0.0, 9)

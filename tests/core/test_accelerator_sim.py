@@ -1,0 +1,92 @@
+"""The Fig. 4 accelerator simulation vs the engine path and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator_sim import simulate_conv_layer
+from repro.core.conv_mapping import AcceleratorConfig, TilingConfig, conv_layer_cycles
+from repro.core.mvm import sc_matmul
+from repro.nn.im2col import im2col
+
+
+def _reference_conv(a_int, w_int, n_bits, acc_bits, stride=1, pad=0):
+    """The CNN experiments' path: im2col + sc_matmul(saturate='term')."""
+    cols, (oh, ow) = im2col(a_int[None].astype(np.float64), w_int.shape[2], stride, pad)
+    w2d = w_int.reshape(w_int.shape[0], -1)
+    out = sc_matmul(w2d, cols.astype(np.int64), n_bits, acc_bits, saturate="term")
+    return out.reshape(w_int.shape[0], oh, ow)
+
+
+@pytest.fixture
+def operands(rng):
+    n = 6
+    a = rng.integers(-32, 32, size=(3, 10, 10))
+    w = rng.integers(-32, 32, size=(5, 3, 3, 3))
+    return n, a, w
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("tiling", [TilingConfig(2, 2, 2), TilingConfig(4, 3, 5)])
+    def test_matches_engine_path(self, operands, tiling):
+        n, a, w = operands
+        cfg = AcceleratorConfig(n_bits=n, acc_bits=4, tiling=tiling)
+        got = simulate_conv_layer(a, w, cfg)
+        ref = _reference_conv(a, w, n, 4)
+        assert np.array_equal(got.output, ref)
+
+    def test_with_stride_and_pad(self, operands):
+        n, a, w = operands
+        cfg = AcceleratorConfig(n_bits=n, acc_bits=4, tiling=TilingConfig(2, 2, 2))
+        got = simulate_conv_layer(a, w, cfg, stride=2, pad=1)
+        ref = _reference_conv(a, w, n, 4, stride=2, pad=1)
+        assert np.array_equal(got.output, ref)
+
+    def test_tiling_does_not_change_output(self, operands):
+        n, a, w = operands
+        outs = []
+        for tiling in (TilingConfig(1, 1, 1), TilingConfig(8, 4, 4), TilingConfig(3, 5, 2)):
+            cfg = AcceleratorConfig(n_bits=n, acc_bits=4, tiling=tiling)
+            outs.append(simulate_conv_layer(a, w, cfg).output)
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[0], outs[2])
+
+
+class TestLatencyModel:
+    @pytest.mark.parametrize("bit_parallel", [1, 4])
+    def test_cycles_match_analytical_model(self, operands, bit_parallel):
+        n, a, w = operands
+        cfg = AcceleratorConfig(
+            n_bits=n, acc_bits=4, bit_parallel=bit_parallel, tiling=TilingConfig(2, 3, 3)
+        )
+        got = simulate_conv_layer(a, w, cfg)
+        oh = ow = 8  # 10 - 3 + 1
+        model = conv_layer_cycles(w, oh, ow, cfg, quantized=True)
+        assert got.cycles == int(model["cycles"])
+        assert got.macs == int(model["macs"])
+
+    def test_bit_parallel_reduces_cycles(self, operands):
+        n, a, w = operands
+        serial = simulate_conv_layer(a, w, AcceleratorConfig(n_bits=n, acc_bits=4))
+        par = simulate_conv_layer(
+            a, w, AcceleratorConfig(n_bits=n, acc_bits=4, bit_parallel=8)
+        )
+        assert par.cycles < serial.cycles
+        assert np.array_equal(par.output, serial.output)  # latency only
+
+
+class TestValidation:
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            simulate_conv_layer(
+                rng.integers(-4, 4, (2, 6, 6)),
+                rng.integers(-4, 4, (3, 4, 3, 3)),
+                AcceleratorConfig(n_bits=4),
+            )
+
+    def test_range_check(self, rng):
+        with pytest.raises(ValueError):
+            simulate_conv_layer(
+                np.full((1, 5, 5), 100),
+                rng.integers(-4, 4, (1, 1, 3, 3)),
+                AcceleratorConfig(n_bits=4),
+            )

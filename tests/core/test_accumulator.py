@@ -1,0 +1,44 @@
+"""Tests for the MVM accumulator bank."""
+
+import numpy as np
+import pytest
+
+from repro.core.accumulator import SaturatingAccumulatorArray
+
+
+class TestArray:
+    def test_step_counts_updown(self):
+        acc = SaturatingAccumulatorArray(3, n_bits=4)
+        acc.step(np.array([1, 0, 1]))
+        assert acc.values.tolist() == [1, -1, 1]
+
+    def test_saturation_limits(self):
+        acc = SaturatingAccumulatorArray(2, n_bits=2, acc_bits=1)  # width 3: [-4, 3]
+        for _ in range(10):
+            acc.step(np.array([1, 0]))
+        assert acc.values.tolist() == [3, -4]
+
+    def test_add_bit_parallel(self):
+        acc = SaturatingAccumulatorArray(2, n_bits=4, acc_bits=2)
+        acc.add(np.array([100, -100]))
+        assert acc.values.tolist() == [31, -32]
+
+    def test_direction_flip(self):
+        acc = SaturatingAccumulatorArray(2, n_bits=4)
+        acc.step(np.array([1, 1]), direction_up=np.array([1, 0]))
+        assert acc.values.tolist() == [1, -1]
+
+    def test_reset(self):
+        acc = SaturatingAccumulatorArray(2, n_bits=4)
+        acc.add(np.array([5, -5]))
+        acc.reset()
+        assert acc.values.tolist() == [0, 0]
+
+    def test_lane_shape_validation(self):
+        acc = SaturatingAccumulatorArray(3, n_bits=4)
+        with pytest.raises(ValueError):
+            acc.step(np.array([1, 0]))
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            SaturatingAccumulatorArray(0, n_bits=4)

@@ -1,0 +1,86 @@
+"""Tests for bit-parallel processing (Section 2.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bit_parallel import BitParallelMac, bit_parallel_latency, column_ones
+from repro.core.fsm_generator import stream_bits
+from repro.core.signed import bisc_multiply_signed
+from repro.sc.encoding import to_offset_binary
+
+
+class TestBitExactness:
+    """The paper: 'our bit-parallel computation result is exactly the
+    same as our bit-serial result'."""
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    @pytest.mark.parametrize("b", [1, 2, 4, 8])
+    def test_exhaustive_equality(self, n, b):
+        half = 1 << (n - 1)
+        mac = BitParallelMac(n, b)
+        for w in range(-half, half):
+            for x in range(-half, half):
+                mac.reset()
+                assert mac.mac(w, x) == bisc_multiply_signed(w, x, n), (w, x)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 4))
+    def test_random_pairs_n8(self, raw_w, raw_x, bexp):
+        n, half = 8, 128
+        b = 1 << bexp
+        w, x = raw_w - half, raw_x - half
+        mac = BitParallelMac(n, b)
+        assert mac.mac(w, x) == bisc_multiply_signed(w, x, n)
+
+
+class TestLatency:
+    def test_cycle_count(self):
+        mac = BitParallelMac(6, 8)
+        mac.mac(-20, 11)
+        assert mac.cycles == 3  # ceil(20/8)
+
+    def test_latency_helper(self):
+        assert bit_parallel_latency(-20, 8) == 3
+        assert bit_parallel_latency(0, 8) == 0
+
+    def test_accumulation(self):
+        n, b = 6, 4
+        mac = BitParallelMac(n, b)
+        pairs = [(-20, 11), (13, -7), (31, 31)]
+        for w, x in pairs:
+            mac.mac(w, x)
+        assert mac.counter == sum(bisc_multiply_signed(w, x, n) for w, x in pairs)
+        assert mac.cycles == sum(-(-abs(w) // b) for w, _ in pairs)
+
+
+class TestColumnOnes:
+    @given(st.integers(0, 63), st.integers(0, 7), st.integers(0, 8))
+    def test_matches_stream_slice(self, offset, col, rows):
+        n, b = 6, 8
+        rows = min(rows, b)
+        if (col * b + rows) > (1 << n):
+            return
+        bits = stream_bits(offset, 1 << n, n)
+        direct = int(bits[col * b : col * b + rows].sum())
+        assert column_ones(offset, col, rows, b, n) == direct
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_ones(0, 0, 9, 8, 6)
+        with pytest.raises(ValueError):
+            column_ones(0, 8, 8, 8, 6)  # beyond the 64-bit period
+
+
+class TestValidation:
+    def test_indivisible_b(self):
+        with pytest.raises(ValueError):
+            BitParallelMac(5, 3)
+
+    def test_oversized_b(self):
+        with pytest.raises(ValueError):
+            BitParallelMac(4, 32)
+
+    def test_operand_range(self):
+        mac = BitParallelMac(4, 2)
+        with pytest.raises(ValueError):
+            mac.mac(9, 0)

@@ -1,0 +1,96 @@
+"""Tests for mapping convolution layers onto BISC-MVMs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.conv_mapping import (
+    AcceleratorConfig,
+    TilingConfig,
+    binary_layer_cycles,
+    conv_layer_cycles,
+    conv_layer_macs,
+    conv_output_shape,
+    conventional_sc_layer_cycles,
+)
+
+
+class TestTiling:
+    def test_mac_count(self):
+        t = TilingConfig(16, 4, 4)
+        assert t.mac_count == 256
+        assert t.lanes_per_mvm == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TilingConfig(0, 4, 4)
+
+
+class TestOutputShape:
+    def test_basic(self):
+        assert conv_output_shape(28, 28, 5) == (24, 24)
+
+    def test_pad_stride(self):
+        assert conv_output_shape(32, 32, 5, stride=1, pad=2) == (32, 32)
+        assert conv_output_shape(15, 15, 3, stride=2) == (7, 7)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(3, 3, 5)
+
+
+class TestCycleModels:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.weights = rng.normal(0, 0.1, size=(8, 4, 3, 3))
+        self.cfg = AcceleratorConfig(n_bits=6, tiling=TilingConfig(4, 2, 2))
+
+    def test_macs(self):
+        assert conv_layer_macs(self.weights, 10, 10) == 8 * 36 * 100
+
+    def test_binary_cycles(self):
+        out = binary_layer_cycles(self.weights, 10, 10, self.cfg)
+        # d=36 cycles per tile; 2 channel groups; ceil(10/2)^2 = 25 tiles
+        assert out["cycles"] == 36 * 2 * 25
+        assert out["avg_mac_cycles"] == 1.0
+
+    def test_conventional_sc_cycles(self):
+        out = conventional_sc_layer_cycles(self.weights, 10, 10, self.cfg)
+        assert out["avg_mac_cycles"] == 64.0
+        assert out["cycles"] == 36 * 2 * 25 * 64
+
+    def test_proposed_cycles_data_dependent(self):
+        out = conv_layer_cycles(self.weights, 10, 10, self.cfg)
+        # far fewer cycles than conventional SC, cannot beat zero
+        assert 0 < out["cycles"] < 36 * 2 * 25 * 64
+        assert 0 < out["avg_mac_cycles"] < 64
+
+    def test_proposed_cycles_scale_with_weights(self):
+        small = conv_layer_cycles(self.weights * 0.2, 10, 10, self.cfg)
+        large = conv_layer_cycles(np.clip(self.weights * 5, -1, 0.99), 10, 10, self.cfg)
+        assert small["cycles"] < large["cycles"]
+
+    def test_bit_parallel_divides_latency(self):
+        cfg8 = AcceleratorConfig(n_bits=6, bit_parallel=8, tiling=TilingConfig(4, 2, 2))
+        serial = conv_layer_cycles(self.weights, 10, 10, self.cfg)
+        par = conv_layer_cycles(self.weights, 10, 10, cfg8)
+        assert par["cycles"] <= serial["cycles"]
+        assert par["cycles"] >= serial["cycles"] / 8
+
+    def test_quantized_input_accepted(self):
+        w_int = np.random.default_rng(1).integers(-32, 32, size=(4, 2, 3, 3))
+        out = conv_layer_cycles(w_int, 6, 6, self.cfg, quantized=True)
+        assert out["cycles"] > 0
+
+
+class TestAcceleratorConfig:
+    def test_defaults(self):
+        cfg = AcceleratorConfig()
+        assert cfg.tiling.mac_count == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_bits=1)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(bit_parallel=0)

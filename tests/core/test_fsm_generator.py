@@ -1,0 +1,114 @@
+"""Tests for the FSM+MUX low-discrepancy generator — the heart of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fsm_generator import (
+    FsmMuxGenerator,
+    appearance_count,
+    coefficient_vector,
+    mux_select_sequence,
+    prefix_ones,
+    select_index,
+    stream_bits,
+)
+
+
+class TestSelectPattern:
+    def test_fig2a_pattern(self):
+        """The N=4 select pattern of Fig. 2(a): x3 x2 x3 x1 x3 x2 x3 x0 ..."""
+        got = mux_select_sequence(16, 4).tolist()
+        assert got == [3, 2, 3, 1, 3, 2, 3, 0, 3, 2, 3, 1, 3, 2, 3, -1]
+
+    def test_first_appearance(self):
+        """Bit x_{N-i} first appears at cycle 2**(i-1)."""
+        n = 6
+        sel = mux_select_sequence(1 << n, n)
+        for i in range(1, n + 1):
+            first = np.nonzero(sel == n - i)[0][0] + 1  # 1-indexed
+            assert first == 1 << (i - 1)
+
+    def test_period(self):
+        """Bit x_{N-i} appears every 2**i cycles after its first."""
+        n = 5
+        sel = mux_select_sequence(1 << n, n)
+        for i in range(1, n + 1):
+            cycles = np.nonzero(sel == n - i)[0] + 1
+            assert np.all(np.diff(cycles) == 1 << i)
+
+    def test_invalid_cycle(self):
+        with pytest.raises(ValueError):
+            select_index(0, 4)
+
+
+class TestAppearanceCount:
+    @given(st.integers(2, 10), st.integers(1, 10), st.integers(0, 1023))
+    def test_closed_form_equals_pattern_count(self, n, i, raw_k):
+        """round(k/2**i) == actual count of x_{N-i} in the first k cycles."""
+        i = min(i, n)
+        k = raw_k % ((1 << n) + 1)
+        sel = mux_select_sequence(k, n) if k else np.array([], dtype=int)
+        actual = int((sel == n - i).sum())
+        assert appearance_count(k, i) == actual
+
+    def test_is_round_half_up(self):
+        assert appearance_count(8, 4) == 1  # round(0.5) -> 1
+        assert appearance_count(7, 4) == 0  # round(0.4375) -> 0
+
+    def test_requires_one_indexed(self):
+        with pytest.raises(ValueError):
+            appearance_count(4, 0)
+
+
+class TestPrefixOnes:
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 256))
+    def test_closed_form_equals_stream(self, n, raw_v, raw_k):
+        v = raw_v % (1 << n)
+        k = raw_k % ((1 << n) + 1)
+        bits = stream_bits(v, k, n)
+        assert prefix_ones(v, k, n) == int(bits.sum())
+
+    @given(st.integers(2, 10), st.integers(0, 1023))
+    def test_full_stream_encodes_exactly(self, n, raw_v):
+        """The complete 2**N-bit stream has exactly v ones."""
+        v = raw_v % (1 << n)
+        assert prefix_ones(v, 1 << n, n) == v
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(1, 256))
+    def test_low_discrepancy_bound(self, n, raw_v, raw_k):
+        """|P_k - v*k/2**N| <= N/2 — the paper's accuracy guarantee."""
+        v = raw_v % (1 << n)
+        k = raw_k % ((1 << n) + 1)
+        assert abs(prefix_ones(v, k, n) - v * k / (1 << n)) <= n / 2
+
+    def test_broadcasting(self):
+        out = prefix_ones(np.array([3, 7]), np.array([4, 8]), 4)
+        assert out.shape == (2,)
+
+    def test_coefficient_vector_shape(self):
+        assert coefficient_vector(np.array([3, 5, 9]), 4).shape == (3, 4)
+
+
+class TestGenerator:
+    def test_stream_matches_closed_form(self):
+        gen = FsmMuxGenerator(5)
+        bits = gen.stream(0b10110, 32)
+        assert np.array_equal(bits, stream_bits(0b10110, 32, 5))
+
+    def test_wraps_after_period(self):
+        gen = FsmMuxGenerator(3)
+        a = gen.stream(5, 8)
+        b = gen.stream(5, 8)
+        assert np.array_equal(a, b)
+
+    def test_reset(self):
+        gen = FsmMuxGenerator(4)
+        gen.stream(9, 5)
+        gen.reset()
+        assert gen.cycle == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FsmMuxGenerator(0)

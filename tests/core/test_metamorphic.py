@@ -1,0 +1,114 @@
+"""Metamorphic properties of the BISC arithmetic.
+
+These pin down algebraic relations that must hold regardless of the
+multiplier's internal approximation — the kind of invariants that catch
+subtle refactoring bugs no example-based test would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mvm import sc_matmul
+from repro.core.signed import bisc_multiply_signed
+
+
+def _ints(rng, n, shape):
+    half = 1 << (n - 1)
+    return rng.integers(-half, half, size=shape)
+
+
+class TestScalarMetamorphic:
+    @given(st.integers(0, 2**31 - 1))
+    def test_weight_negation_flips_result(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 7
+        w = int(rng.integers(1, 64))
+        x = int(_ints(rng, n, ()))
+        assert bisc_multiply_signed(-w, x, n) == -bisc_multiply_signed(w, x, n)
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_data_complement_bounds(self, seed):
+        """Complementing x (≈ negating) produces ≈ the negated result;
+        both sides obey the shared N/2 bound around the exact products."""
+        rng = np.random.default_rng(seed)
+        n = 7
+        half = 1 << (n - 1)
+        w = int(rng.integers(-half, half))
+        x = int(rng.integers(-half + 1, half))
+        a = bisc_multiply_signed(w, x, n)
+        b = bisc_multiply_signed(w, -x, n)
+        # a + b estimates w*(x + (-x)) == 0 with at most 2x the bound
+        assert abs(a + b) <= n + 1
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_monotone_in_data(self, seed):
+        """For fixed positive w the result is nondecreasing in x: the
+        stream for a larger offset word has pointwise >= prefix sums."""
+        rng = np.random.default_rng(seed)
+        n = 6
+        half = 1 << (n - 1)
+        w = int(rng.integers(1, half))
+        xs = np.arange(-half, half)
+        outs = bisc_multiply_signed(w, xs, n)
+        diffs = np.diff(outs)
+        assert (diffs >= 0).all()
+
+
+class TestMatmulMetamorphic:
+    @given(st.integers(0, 2**31 - 1))
+    def test_block_concatenation_additivity(self, seed):
+        """Without saturation, splitting the reduction dimension and
+        adding partial products equals the fused product."""
+        rng = np.random.default_rng(seed)
+        n = 7
+        w = _ints(rng, n, (3, 8))
+        x = _ints(rng, n, (8, 4))
+        fused = sc_matmul(w, x, n, saturate=None)
+        split = sc_matmul(w[:, :3], x[:3], n, saturate=None) + sc_matmul(
+            w[:, 3:], x[3:], n, saturate=None
+        )
+        assert np.array_equal(fused, split)
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_term_permutation_invariance_without_saturation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        w = _ints(rng, n, (2, 6))
+        x = _ints(rng, n, (6, 3))
+        perm = rng.permutation(6)
+        a = sc_matmul(w, x, n, saturate=None)
+        b = sc_matmul(w[:, perm], x[perm], n, saturate=None)
+        assert np.array_equal(a, b)
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_zero_weight_row_gives_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        x = _ints(rng, n, (5, 4))
+        w = np.zeros((2, 5), dtype=np.int64)
+        assert (sc_matmul(w, x, n) == 0).all()
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_row_independence(self, seed):
+        """Each output row depends only on its own weight row."""
+        rng = np.random.default_rng(seed)
+        n = 6
+        w = _ints(rng, n, (3, 5))
+        x = _ints(rng, n, (5, 4))
+        full = sc_matmul(w, x, n, saturate="term")
+        solo = sc_matmul(w[1:2], x, n, saturate="term")
+        assert np.array_equal(full[1:2], solo)
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_error_bound_scales_with_depth(self, seed):
+        """Accumulated error of a depth-d dot product <= d * N/2."""
+        rng = np.random.default_rng(seed)
+        n = 6
+        d = 7
+        w = _ints(rng, n, (2, d))
+        x = _ints(rng, n, (d, 3))
+        got = sc_matmul(w, x, n, saturate=None)
+        exact = (w.astype(float) @ x.astype(float)) / (1 << (n - 1))
+        assert np.abs(got - exact).max() <= d * n / 2

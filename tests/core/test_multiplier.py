@@ -1,0 +1,80 @@
+"""Tests for the unsigned BISC multiplier."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fsm_generator import prefix_ones
+from repro.core.multiplier import (
+    BiscMultiplierUnsigned,
+    bisc_multiply_unsigned,
+    unsigned_multiply_error_bound,
+)
+
+
+class TestClosedForm:
+    def test_half_times_half(self):
+        assert bisc_multiply_unsigned(8, 8, 4) == 4
+
+    @given(st.integers(2, 10), st.integers(0, 1023))
+    def test_full_scale_weight_is_exact(self, n, raw_x):
+        """w == 2**N passes the whole stream: result == x exactly."""
+        x = raw_x % (1 << n)
+        assert bisc_multiply_unsigned(1 << n, x, n) == x
+
+    @given(st.integers(2, 10), st.integers(0, 1023))
+    def test_zero_weight_is_exact(self, n, raw_x):
+        assert bisc_multiply_unsigned(0, raw_x % (1 << n), n) == 0
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255))
+    def test_error_bound(self, n, raw_w, raw_x):
+        w, x = raw_w % ((1 << n) + 1), raw_x % (1 << n)
+        exact = w * x / (1 << n)
+        err = bisc_multiply_unsigned(w, x, n) - exact
+        assert abs(err) <= unsigned_multiply_error_bound(n)
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 7))
+    def test_single_bit_x_is_near_exact(self, n, raw_w, bit):
+        """x a power of two -> result == round(w/2**i), within rounding."""
+        bit = bit % n
+        w = raw_w % ((1 << n) + 1)
+        x = 1 << bit
+        exact = w * x / (1 << n)
+        assert abs(bisc_multiply_unsigned(w, x, n) - exact) <= 0.5
+
+    def test_rejects_out_of_range_w(self):
+        with pytest.raises(ValueError):
+            bisc_multiply_unsigned(20, 3, 4)
+
+
+class TestCycleAccurate:
+    @given(st.integers(2, 6), st.integers(0, 63), st.integers(0, 63))
+    def test_matches_closed_form(self, n, raw_w, raw_x):
+        w, x = raw_w % ((1 << n) + 1), raw_x % (1 << n)
+        mac = BiscMultiplierUnsigned(n)
+        assert mac.mac(w, x) == bisc_multiply_unsigned(w, x, n)
+        assert mac.cycles == w
+
+    def test_accumulation_over_terms(self):
+        n = 5
+        mac = BiscMultiplierUnsigned(n)
+        pairs = [(10, 20), (5, 31), (32, 7)]
+        for w, x in pairs:
+            mac.mac(w, x)
+        expected = sum(int(prefix_ones(x, w, n)) for w, x in pairs)
+        assert mac.counter == expected
+        assert mac.cycles == sum(w for w, _ in pairs)
+
+    def test_reset(self):
+        mac = BiscMultiplierUnsigned(4)
+        mac.mac(9, 9)
+        mac.reset()
+        assert mac.counter == 0 and mac.cycles == 0
+
+    def test_input_validation(self):
+        mac = BiscMultiplierUnsigned(4)
+        with pytest.raises(ValueError):
+            mac.mac(17, 2)
+        with pytest.raises(ValueError):
+            mac.mac(4, 16)

@@ -1,0 +1,114 @@
+"""Tests for the BISC-MVM and the fast matmul engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mvm import BiscMvm, mvm_cycles, sc_matmul, sc_matmul_reference
+from repro.core.signed import bisc_multiply_signed
+
+
+def _rand_ints(rng, n_bits, shape):
+    half = 1 << (n_bits - 1)
+    return rng.integers(-half, half, size=shape)
+
+
+class TestScMatmul:
+    @given(st.integers(0, 2**31 - 1), st.integers(3, 8))
+    def test_unsaturated_matches_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        w = _rand_ints(rng, n, (3, 5))
+        x = _rand_ints(rng, n, (5, 4))
+        assert np.array_equal(
+            sc_matmul(w, x, n, saturate=None), sc_matmul_reference(w, x, n)
+        )
+
+    def test_term_and_final_agree_without_overflow(self, rng):
+        n = 8
+        # tiny weights: accumulator never leaves the rails
+        w = rng.integers(-4, 5, size=(4, 6))
+        x = _rand_ints(rng, n, (6, 7))
+        assert np.array_equal(
+            sc_matmul(w, x, n, saturate="term"), sc_matmul(w, x, n, saturate="final")
+        )
+
+    def test_term_saturation_clamps_midway(self):
+        n = 4
+        # +max*+max three times rails a headroom-free accumulator at +7
+        # before the negative terms pull it back down; a final clip sees
+        # only the (in-range) sum and misses the mid-flight overflow.
+        w = np.array([[7, 7, 7, -8, -8]])
+        x = np.array([[7], [7], [7], [7], [7]])
+        term = sc_matmul(w, x, n, acc_bits=0, saturate="term")
+        final = sc_matmul(w, x, n, acc_bits=0, saturate="final")
+        assert term[0, 0] == -8
+        assert final[0, 0] == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            sc_matmul(np.zeros((2, 3)), np.zeros((4, 2)), 4)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            sc_matmul(np.full((1, 1), 9), np.zeros((1, 1)), 4)
+
+    def test_saturate_mode_validation(self):
+        with pytest.raises(ValueError):
+            sc_matmul(np.zeros((1, 1)), np.zeros((1, 1)), 4, saturate="bogus")
+
+
+class TestBiscMvm:
+    def test_scalar_vector(self):
+        mvm = BiscMvm(n_bits=4, p=2)
+        mvm.mac(-8, [7, -8])
+        assert mvm.read().tolist() == [-8, 8]
+        assert mvm.cycles == 8
+
+    def test_matches_scalar_multiplier_per_lane(self, rng):
+        n, p = 6, 5
+        mvm = BiscMvm(n_bits=n, p=p, acc_bits=6)
+        w = int(rng.integers(-32, 32))
+        x = _rand_ints(rng, n, p)
+        mvm.mac(w, x)
+        expected = [bisc_multiply_signed(w, int(xi), n) for xi in x]
+        assert mvm.read().tolist() == expected
+
+    def test_matvec_matches_sc_matmul(self, rng):
+        n, p, d = 5, 4, 6
+        w_row = _rand_ints(rng, n, d)
+        x_mat = _rand_ints(rng, n, (d, p))
+        mvm = BiscMvm(n_bits=n, p=p, acc_bits=6)
+        got = mvm.matvec(w_row, x_mat)
+        expected = sc_matmul(w_row[None, :], x_mat, n, acc_bits=6, saturate="term")[0]
+        assert np.array_equal(got, expected)
+
+    def test_cycles_accounting(self, rng):
+        n, p = 5, 3
+        w_row = _rand_ints(rng, n, 7)
+        x_mat = _rand_ints(rng, n, (7, p))
+        mvm = BiscMvm(n_bits=n, p=p)
+        mvm.matvec(w_row, x_mat)
+        assert mvm.cycles == mvm_cycles(w_row, n)
+
+    def test_lane_count_validation(self):
+        mvm = BiscMvm(4, 3)
+        with pytest.raises(ValueError):
+            mvm.mac(2, [1, 2])
+
+    def test_weight_range_validation(self):
+        mvm = BiscMvm(4, 2)
+        with pytest.raises(ValueError):
+            mvm.mac(8, [0, 0])
+
+
+class TestMvmCycles:
+    def test_sum_of_magnitudes(self):
+        assert mvm_cycles([-8, 3, 0, 7], 4) == 18
+
+    def test_bit_parallel(self):
+        assert mvm_cycles([-8, 3, 0, 7], 4, bit_parallel=4) == 2 + 1 + 0 + 2
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            mvm_cycles([16], 4)

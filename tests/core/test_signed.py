@@ -1,0 +1,113 @@
+"""Tests for the signed BISC multiplier (Section 2.4, Table 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signed import (
+    bisc_multiply_signed,
+    exact_product_lsb,
+    multiply_latency,
+    signed_multiply_details,
+)
+
+
+class TestTable1:
+    """The paper's exact worked example."""
+
+    @pytest.mark.parametrize(
+        "w,x,counter",
+        [(-8, 0, 0), (-8, 7, -8), (-8, -8, 8), (7, 0, 1), (7, 7, 7), (7, -8, -7)],
+    )
+    def test_counter_values(self, w, x, counter):
+        assert bisc_multiply_signed(w, x, 4) == counter
+
+    def test_mux_out_first_row(self):
+        t = signed_multiply_details(-8, 0, 4)
+        assert "".join(map(str, t.mux_bits)) == "10101010"
+        assert t.offset_word == 0b1000
+
+    def test_mux_out_all_ones(self):
+        t = signed_multiply_details(-8, 7, 4)
+        assert "".join(map(str, t.mux_bits)) == "11111111"
+
+    def test_reference_column(self):
+        assert signed_multiply_details(7, 7, 4).reference == pytest.approx(6.125)
+
+
+class TestProperties:
+    @given(st.integers(2, 9), st.integers(), st.integers())
+    def test_error_bound(self, n, sw, sx):
+        """|counter - 2^(N-1) w x| <= N/2 (the paper's loose bound)."""
+        half = 1 << (n - 1)
+        w = -half + (sw % (2 * half))
+        x = -half + (sx % (2 * half))
+        err = bisc_multiply_signed(w, x, n) - exact_product_lsb(w, x, n)
+        assert abs(err) <= n / 2
+
+    @given(st.integers(2, 9), st.integers(), st.integers())
+    def test_antisymmetric_in_weight_sign(self, n, sw, sx):
+        half = 1 << (n - 1)
+        w = 1 + (sw % (half - 1))  # positive magnitudes only
+        x = -half + (sx % (2 * half))
+        assert bisc_multiply_signed(-w, x, n) == -bisc_multiply_signed(w, x, n)
+
+    @given(st.integers(2, 9), st.integers())
+    def test_full_negative_weight_within_one_lsb(self, n, sx):
+        """w == -1.0 yields -x up to the odd-value rounding of 2*P - k."""
+        half = 1 << (n - 1)
+        x = -half + (sx % (2 * half))
+        got = bisc_multiply_signed(-half, x, n)
+        assert abs(got - (-x)) <= 1
+        assert got % 2 == 0  # the counter moves by a net even amount here
+
+    @given(st.integers(2, 9), st.integers())
+    def test_zero_weight(self, n, sx):
+        half = 1 << (n - 1)
+        x = -half + (sx % (2 * half))
+        assert bisc_multiply_signed(0, x, n) == 0
+
+    def test_exhaustive_zero_bias(self):
+        """Mean error over all pairs is (near) zero — Fig. 5 'mean' claim."""
+        n = 6
+        half = 1 << (n - 1)
+        v = np.arange(-half, half)
+        est = bisc_multiply_signed(v[:, None], v[None, :], n)
+        err = est - exact_product_lsb(v[:, None], v[None, :], n)
+        assert abs(err.mean()) < 0.05
+
+    def test_vectorized_matches_scalar(self):
+        n = 5
+        w = np.array([-16, -3, 0, 7, 15])
+        x = np.array([[-16], [5], [15]])
+        grid = bisc_multiply_signed(w[None, :], x, n)
+        for i, xi in enumerate(x[:, 0]):
+            for j, wj in enumerate(w):
+                assert grid[i, j] == bisc_multiply_signed(int(wj), int(xi), n)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bisc_multiply_signed(8, 0, 4)
+        with pytest.raises(ValueError):
+            bisc_multiply_signed(0, -9, 4)
+
+
+class TestLatency:
+    def test_latency_is_weight_magnitude(self):
+        assert multiply_latency(-8, 4) == 8
+        assert multiply_latency(3, 4) == 3
+        assert multiply_latency(0, 4) == 0
+
+    def test_bit_parallel_latency(self):
+        assert multiply_latency(-8, 4, bit_parallel=4) == 2
+        assert multiply_latency(7, 4, bit_parallel=4) == 2
+        assert multiply_latency(1, 4, bit_parallel=8) == 1
+
+    def test_vectorized(self):
+        out = multiply_latency(np.array([-8, 3, 0]), 4, bit_parallel=2)
+        assert out.tolist() == [4, 2, 0]
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            multiply_latency(3, 4, bit_parallel=0)

@@ -1,0 +1,77 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DIGIT_GLYPHS, make_digits, make_shapes
+from repro.datasets.synthetic import _render_shape, _shape_mask
+
+
+class TestDigits:
+    def test_shapes_and_ranges(self):
+        ds = make_digits(n_train=40, n_test=10, seed=0)
+        assert ds.x_train.shape == (40, 1, 28, 28)
+        assert ds.x_test.shape == (10, 1, 28, 28)
+        assert ds.x_train.min() >= -1.0 and ds.x_train.max() <= 1.0
+        assert ds.num_classes == 10 or ds.num_classes <= 10
+
+    def test_deterministic(self):
+        a = make_digits(30, 5, seed=7)
+        b = make_digits(30, 5, seed=7)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_seed_changes_data(self):
+        a = make_digits(30, 5, seed=7)
+        b = make_digits(30, 5, seed=8)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_glyph_font_complete(self):
+        assert len(DIGIT_GLYPHS) == 10
+        for g in DIGIT_GLYPHS:
+            rows = g.split("|")
+            assert len(rows) == 7
+            assert all(len(r) == 5 for r in rows)
+
+    def test_classes_visually_distinct(self):
+        """Mean images of different classes differ substantially."""
+        ds = make_digits(400, 1, seed=0)
+        means = [
+            ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)
+        ]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(means[i] - means[j]).mean() > 0.02
+
+
+class TestShapes:
+    def test_shapes_and_ranges(self):
+        ds = make_shapes(n_train=30, n_test=10, seed=0)
+        assert ds.x_train.shape == (30, 3, 32, 32)
+        assert ds.x_train.min() >= -1.0 and ds.x_train.max() <= 1.0
+
+    def test_deterministic(self):
+        a = make_shapes(20, 5, seed=3)
+        b = make_shapes(20, 5, seed=3)
+        assert np.array_equal(a.x_train, b.x_train)
+
+    def test_all_mask_classes_nonempty(self):
+        rng = np.random.default_rng(0)
+        for cls in range(10):
+            mask = _shape_mask(cls, 16, 16, 9, rng)
+            assert 10 < mask.sum() < 32 * 32
+
+    def test_unknown_class_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            _shape_mask(10, 16, 16, 8, rng)
+
+    def test_render_is_finite(self):
+        rng = np.random.default_rng(1)
+        img = _render_shape(4, rng)
+        assert np.isfinite(img).all()
+
+    def test_label_balance(self):
+        ds = make_shapes(500, 10, seed=0)
+        counts = np.bincount(ds.y_train, minlength=10)
+        assert counts.min() > 20  # roughly uniform labels

@@ -1,0 +1,70 @@
+"""Tests for the shared experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    DIGITS_QUICK_SPEC,
+    BenchmarkSpec,
+    cache_dir,
+    format_table,
+    get_trained_model,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # all rows share the same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and len(text.splitlines()) == 2
+
+
+class TestBenchmarkSpec:
+    def test_dataset_factory(self):
+        spec = BenchmarkSpec("t", "digits", 10, 5, 1, 0.01, 4)
+        ds = spec.make_dataset()
+        assert ds.x_train.shape[0] == 10
+
+    def test_net_factory_matches_dataset(self):
+        spec = BenchmarkSpec("t", "shapes", 4, 2, 1, 0.01, 2)
+        net = spec.make_net()
+        assert net.conv_layers[0].weight.value.shape[1] == 3  # RGB input
+
+    def test_unknown_dataset(self):
+        spec = BenchmarkSpec("t", "imagenet", 4, 2, 1, 0.01, 2)
+        with pytest.raises(KeyError):
+            spec.make_dataset()
+
+
+class TestModelCache:
+    def test_cache_dir_exists(self):
+        assert cache_dir().is_dir()
+
+    def test_cached_model_is_stable(self):
+        """Loading twice yields identical weights (no retraining)."""
+        a = get_trained_model(DIGITS_QUICK_SPEC)
+        b = get_trained_model(DIGITS_QUICK_SPEC)
+        assert np.array_equal(a.float_state[0], b.float_state[0])
+
+    def test_restore_float(self):
+        model = get_trained_model(DIGITS_QUICK_SPEC)
+        before = model.net.params[0].value.copy()
+        model.net.params[0].value += 1.0
+        model.restore_float()
+        assert np.array_equal(model.net.params[0].value, before)
+
+    def test_ranges_calibrated(self):
+        model = get_trained_model(DIGITS_QUICK_SPEC)
+        assert len(model.ranges) == 2
+        assert all(r.x_scale >= 1.0 for r in model.ranges)

@@ -1,0 +1,48 @@
+"""Tests for the extension harnesses (A4, resilience, network perf)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_energy_quality,
+    network_performance,
+    resilience_study,
+)
+from repro.experiments.common import DIGITS_QUICK_SPEC
+
+
+class TestEnergyQualityHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_energy_quality.run(n_bits=8, budgets=(2, 8, 32, 128))
+
+    def test_energy_monotone(self, rows):
+        cyc = [r["avg_cycles"] for r in rows]
+        assert cyc == sorted(cyc)
+
+    def test_quality_improves_overall(self, rows):
+        assert rows[-1]["rms_error"] < rows[0]["rms_error"] / 3
+
+    def test_main_renders(self):
+        assert "cycle budget" in ablation_energy_quality.main()
+
+
+class TestResilienceHarness:
+    def test_rows(self):
+        rows = resilience_study.run(n_bits=8, samples=1500)
+        assert len(rows) == 3
+        worst = rows[-1]
+        assert worst["max_corruption_binary_lsb"] > worst["max_corruption_proposed_lsb"]
+
+    def test_main_renders(self):
+        assert "upset prob" in resilience_study.main()
+
+
+class TestNetworkPerformanceHarness:
+    def test_profile_digits(self):
+        profile = network_performance.run(DIGITS_QUICK_SPEC, n_bits=5, bit_parallel=1)
+        assert profile.speedup_vs_conv_sc > 2
+        assert len(profile.layers) == 2
+
+    def test_main_renders(self):
+        out = network_performance.main()
+        assert "speedup vs conv-SC" in out

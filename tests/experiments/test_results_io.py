@@ -1,0 +1,54 @@
+"""Tests for JSON result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.signed import signed_multiply_details
+from repro.experiments.results_io import load_result, save_result, to_jsonable
+from repro.hw.energy import Fig7Row
+
+
+class TestToJsonable:
+    def test_numpy_types(self):
+        out = to_jsonable({"a": np.int64(3), "b": np.float64(0.5), "c": np.arange(3)})
+        assert out == {"a": 3, "b": 0.5, "c": [0, 1, 2]}
+
+    def test_dataclasses(self):
+        row = Fig7Row("x", 1.0, 2.0, 3.0, 4.0, 5.0)
+        out = to_jsonable(row)
+        assert out["label"] == "x" and out["adp_um2_cycles"] == 5.0
+
+    def test_nested_trace(self):
+        trace = signed_multiply_details(-8, 7, 4)
+        out = to_jsonable([trace])
+        assert out[0]["counter"] == -8
+        assert out[0]["mux_bits"] == [1] * 8
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = save_result("fig5", {"std": [0.1, 0.2]}, tmp_path)
+        data = load_result(path)
+        assert data["experiment"] == "fig5"
+        assert data["result"]["std"] == [0.1, 0.2]
+        assert "repro_version" in data
+
+    def test_valid_json_on_disk(self, tmp_path):
+        path = save_result("t", {"x": 1}, tmp_path)
+        json.loads(path.read_text())  # must parse
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "foreign.json"
+        p.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError):
+            load_result(p)
+
+    def test_creates_directory(self, tmp_path):
+        path = save_result("t", {}, tmp_path / "deep" / "dir")
+        assert path.exists()

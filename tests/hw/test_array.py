@@ -1,0 +1,60 @@
+"""Tests for the MAC-array sharing model."""
+
+import pytest
+
+from repro.hw.array import MacArray
+from repro.hw.mac_designs import fixed_point_mac, lfsr_sc_mac, proposed_mac
+
+
+class TestSharing:
+    def test_proposed_array_cheaper_than_standalone_sum(self):
+        design = proposed_mac(9)
+        arr = MacArray(design, size=256, lanes=16)
+        assert arr.area_um2 < 256 * design.total_area_um2
+
+    def test_more_lanes_more_sharing(self):
+        design = proposed_mac(9)
+        few = MacArray(design, size=256, lanes=4).area_um2
+        many = MacArray(design, size=256, lanes=64).area_um2
+        assert many < few
+
+    def test_binary_array_is_linear(self):
+        design = fixed_point_mac(9)
+        arr = MacArray(design, size=256)
+        assert arr.area_um2 == pytest.approx(256 * design.total_area_um2)
+
+    def test_conventional_sc_adds_one_weight_sng(self):
+        design = lfsr_sc_mac(9)
+        arr = MacArray(design, size=256)
+        extra = sum(p.area_um2 for p in design.array_parts)
+        assert arr.area_um2 == pytest.approx(256 * design.total_area_um2 + extra)
+
+    def test_lane_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MacArray(proposed_mac(9), size=100, lanes=16)
+
+
+class TestMetrics:
+    def test_energy_per_mac(self):
+        arr = MacArray(fixed_point_mac(9), size=256, clock_ghz=1.0)
+        e = arr.energy_per_mac_pj()
+        assert e == pytest.approx(arr.power_mw / 256.0)  # 1 cycle @ 1 GHz
+
+    def test_gops_definition(self):
+        arr = MacArray(fixed_point_mac(9), size=256, clock_ghz=1.0)
+        assert arr.gops() == pytest.approx(512.0)
+
+    def test_gops_includes_sc_latency(self):
+        arr = MacArray(lfsr_sc_mac(9), size=256, clock_ghz=1.0)
+        assert arr.gops() == pytest.approx(1.0)  # 512 ops / 512 cycles
+
+    def test_summary_keys(self):
+        s = MacArray(proposed_mac(9), 256, 16).summary(avg_mac_cycles=7.7)
+        for key in ("area_mm2", "power_mw", "energy_per_mac_pj", "gops", "gops_per_w"):
+            assert key in s and s[key] > 0
+
+    def test_clock_scales_power_not_area(self):
+        slow = MacArray(fixed_point_mac(9), 256, clock_ghz=0.5)
+        fast = MacArray(fixed_point_mac(9), 256, clock_ghz=1.0)
+        assert slow.area_um2 == fast.area_um2
+        assert slow.power_mw == pytest.approx(fast.power_mw / 2)

@@ -1,0 +1,78 @@
+"""Tests for the component area formulas."""
+
+import pytest
+
+from repro.hw import components as comp
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            comp.lfsr,
+            comp.comparator,
+            comp.binary_multiplier,
+            comp.down_counter,
+            comp.stream_mux,
+            comp.data_register,
+            comp.halton_generator_reg,
+            comp.ed_generator_reg,
+        ],
+    )
+    def test_area_grows_with_precision(self, factory):
+        areas = [factory(n).area_um2 for n in (4, 6, 8, 10)]
+        assert areas == sorted(areas)
+        assert areas[0] > 0
+
+    def test_multiplier_is_quadratic(self):
+        a5 = comp.binary_multiplier(5).area_um2
+        a10 = comp.binary_multiplier(10).area_um2
+        assert a10 == pytest.approx(4 * a5)
+
+    def test_ones_counter_grows_with_parallelism(self):
+        areas = [comp.ones_counter(b).area_um2 for b in (2, 8, 32)]
+        assert areas == sorted(areas)
+
+
+class TestSharingFlags:
+    def test_fsm_and_down_counter_shared(self):
+        assert comp.fsm_sequencer(8).shared
+        assert comp.down_counter(8).shared
+
+    def test_lane_components_not_shared(self):
+        assert not comp.stream_mux(8).shared
+        assert not comp.data_register(8).shared
+        assert not comp.up_down_counter(10).shared
+
+
+class TestSpecifics:
+    def test_fsm_shrinks_with_bit_parallelism(self):
+        serial = comp.fsm_sequencer(9).area_um2
+        par = comp.fsm_sequencer(9, bit_parallel=8).area_um2
+        assert par < serial
+
+    def test_xnor_constant(self):
+        assert comp.xnor_gate().area_um2 == pytest.approx(1.8)
+        assert comp.xnor_bank(32).area_um2 == pytest.approx(32 * 1.8)
+
+    def test_activity_classes_valid(self):
+        from repro.hw.gates import ACTIVITY
+
+        parts = [
+            comp.lfsr(8),
+            comp.comparator(8),
+            comp.xnor_gate(),
+            comp.binary_multiplier(8),
+            comp.up_down_counter(10),
+            comp.down_counter(8),
+            comp.fsm_sequencer(8),
+            comp.stream_mux(8),
+            comp.data_register(8),
+            comp.halton_generator_reg(8),
+            comp.halton_generator_combi(8),
+            comp.ed_generator_reg(9),
+            comp.ed_generator_combi(9),
+            comp.parallel_counter(32),
+            comp.ones_counter(8),
+        ]
+        assert all(p.activity_class in ACTIVITY for p in parts)

@@ -1,0 +1,27 @@
+"""Tests for the technology/power model."""
+
+import pytest
+
+from repro.hw.gates import ACTIVITY, AreaPower, component_power_mw
+
+
+class TestPowerModel:
+    def test_power_scales_with_area_and_clock(self):
+        p1 = component_power_mw(100.0, "counter", 1.0)
+        p2 = component_power_mw(200.0, "counter", 1.0)
+        p3 = component_power_mw(100.0, "counter", 2.0)
+        assert p2 == pytest.approx(2 * p1)
+        assert p3 == pytest.approx(2 * p1)
+
+    def test_lfsr_class_has_highest_activity(self):
+        """The paper's observation: LFSRs dissipate unusually much per area."""
+        assert ACTIVITY["lfsr"] == max(ACTIVITY.values())
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            component_power_mw(10.0, "warp-core")
+
+    def test_areapower_wrapper(self):
+        c = AreaPower("thing", 50.0, "mux")
+        assert c.power_mw(1.0) == pytest.approx(component_power_mw(50.0, "mux", 1.0))
+        assert not c.shared

@@ -1,0 +1,82 @@
+"""Tests for the MAC designs against the paper's Table 2."""
+
+import pytest
+
+from repro.experiments.table2_area import PUBLISHED_BREAKDOWNS, PUBLISHED_TOTALS
+from repro.hw.mac_designs import (
+    all_table2_designs,
+    ed_sc_mac,
+    fixed_point_mac,
+    halton_sc_mac,
+    lfsr_sc_mac,
+    proposed_mac,
+)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}")
+    def test_total_within_20pct_of_published(self, design):
+        published = PUBLISHED_TOTALS[(design.name, design.precision)]
+        assert design.total_area_um2 == pytest.approx(published, rel=0.20)
+
+    @pytest.mark.parametrize("design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}")
+    def test_major_columns_within_35pct(self, design):
+        """Per-column breakdown tracks the published one for big columns."""
+        published = PUBLISHED_BREAKDOWNS[(design.name, design.precision)]
+        got = design.breakdown()
+        for col, pub in published.items():
+            if pub >= 30.0:  # small columns are dominated by layout noise
+                assert got[col] == pytest.approx(pub, rel=0.35), col
+
+
+class TestStructure:
+    def test_breakdown_sums_to_total(self):
+        for design in all_table2_designs():
+            bd = design.breakdown()
+            parts = sum(v for k, v in bd.items() if k != "total")
+            assert parts == pytest.approx(bd["total"])
+
+    def test_proposed_shares_fsm_and_down_counter(self):
+        d = proposed_mac(9)
+        names = {p.name for p in d.shared_parts()}
+        assert names == {"fsm", "down_counter"}
+
+    def test_conventional_sc_has_array_level_weight_sng(self):
+        d = lfsr_sc_mac(9)
+        assert len(d.array_parts) == 2  # weight LFSR + comparator
+
+    def test_binary_shares_nothing(self):
+        d = fixed_point_mac(9)
+        assert not d.shared_parts() and not d.array_parts
+
+
+class TestLatencyModels:
+    def test_binary_one_cycle(self):
+        assert fixed_point_mac(9).mac_latency_cycles() == 1.0
+
+    def test_conventional_exponential(self):
+        assert lfsr_sc_mac(9).mac_latency_cycles() == 512.0
+        assert halton_sc_mac(5).mac_latency_cycles() == 32.0
+
+    def test_ed_bit_parallel_latency(self):
+        assert ed_sc_mac(9).mac_latency_cycles() == 512.0 / 32
+
+    def test_proposed_requires_weight_stats(self):
+        with pytest.raises(ValueError):
+            proposed_mac(9).mac_latency_cycles()
+        assert proposed_mac(9).mac_latency_cycles(7.7) == 7.7
+
+
+class TestTrends:
+    def test_sc_smaller_than_binary_at_high_precision(self):
+        """Fig. 7: SC designs need less area, more so at high precision."""
+        gap9 = fixed_point_mac(9).total_area_um2 - lfsr_sc_mac(9).total_area_um2
+        gap5 = fixed_point_mac(5).total_area_um2 - lfsr_sc_mac(5).total_area_um2
+        assert gap9 > gap5 > 0
+
+    def test_parallelism_increases_area_modestly(self):
+        """Table 2: 'increasing the bit-parallelism ... increases the
+        total area, only modestly'."""
+        serial = proposed_mac(9).total_area_um2
+        par32 = proposed_mac(9, bit_parallel=32).total_area_um2
+        assert serial < par32 < 2.1 * serial

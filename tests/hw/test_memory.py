@@ -1,0 +1,69 @@
+"""Tests for the on-chip buffer model."""
+
+import pytest
+
+from repro.core.conv_mapping import AcceleratorConfig, TilingConfig
+from repro.hw.memory import (
+    BufferSet,
+    SramMacro,
+    accelerator_totals,
+    buffer_set_for,
+    sn_storage_blowup,
+)
+
+
+class TestSramMacro:
+    def test_area_scales_with_size(self):
+        assert SramMacro("a", 8.0).area_um2 == pytest.approx(2 * SramMacro("a", 4.0).area_um2)
+
+    def test_access_energy(self):
+        assert SramMacro("a", 1.0).access_energy_pj(1000) > 0
+
+
+class TestBufferSizing:
+    def test_double_buffering_doubles(self):
+        cfg = AcceleratorConfig(n_bits=8)
+        single = buffer_set_for(cfg, double_buffered=False)
+        double = buffer_set_for(cfg, double_buffered=True)
+        assert double.total_kilobytes == pytest.approx(2 * single.total_kilobytes)
+
+    def test_identical_across_arithmetics(self):
+        """The paper's point: BISC keeps buffers binary-sized, so the
+        buffer set depends only on precision and tiling."""
+        cfg = AcceleratorConfig(n_bits=9)
+        assert buffer_set_for(cfg).total_kilobytes == buffer_set_for(cfg).total_kilobytes
+
+    def test_grows_with_precision(self):
+        small = buffer_set_for(AcceleratorConfig(n_bits=5))
+        large = buffer_set_for(AcceleratorConfig(n_bits=10))
+        assert large.total_kilobytes > small.total_kilobytes
+
+    def test_grows_with_tiling(self):
+        a = buffer_set_for(AcceleratorConfig(tiling=TilingConfig(8, 2, 2)))
+        b = buffer_set_for(AcceleratorConfig(tiling=TilingConfig(32, 4, 4)))
+        assert b.total_kilobytes > a.total_kilobytes
+
+    def test_reasonable_scale(self):
+        """A 256-MAC tile's buffers are tens of KB, not MB."""
+        bs = buffer_set_for(AcceleratorConfig(n_bits=9))
+        assert 1.0 < bs.total_kilobytes < 500.0
+
+
+class TestStorageBlowup:
+    def test_exponential(self):
+        assert sn_storage_blowup(8) == pytest.approx(256 / 8)
+        assert sn_storage_blowup(10) > sn_storage_blowup(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sn_storage_blowup(0)
+
+
+class TestAcceleratorTotals:
+    def test_totals_add_up(self):
+        cfg = AcceleratorConfig(n_bits=9)
+        out = accelerator_totals(cfg, array_area_um2=58000.0, array_power_mw=25.0)
+        assert out["total_area_mm2"] == pytest.approx(
+            out["array_area_mm2"] + out["buffer_area_mm2"]
+        )
+        assert out["total_power_mw"] > out["array_power_mw"]

@@ -1,0 +1,49 @@
+"""Integration of trained models with the hardware experiments
+(Fig. 7, Table 3, ablation A3)."""
+
+import pytest
+
+from repro.experiments import DIGITS_QUICK_SPEC, ablation_accumulator
+from repro.experiments.fig7_mac_array import trained_conv_weights
+from repro.hw import compare_mac_arrays, proposed_entry
+
+
+@pytest.fixture(scope="module")
+def digit_weights():
+    return trained_conv_weights(DIGITS_QUICK_SPEC)
+
+
+class TestFig7WithTrainedWeights:
+    def test_mnist_setting(self, digit_weights):
+        cmp = compare_mac_arrays(digit_weights, precision=5)
+        ratios = cmp["ratios"]
+        assert ratios["energy_gain_vs_conv_sc"] > 10
+        rows = {r.label: r for r in cmp["rows"]}
+        assert rows["Ours"].area_mm2 < rows["FIX"].area_mm2
+        assert rows["Ours"].avg_mac_cycles < 32
+
+    def test_table3_with_trained_weights(self, digit_weights):
+        e = proposed_entry(digit_weights, precision=9)
+        assert e.gops > 50
+        assert e.area_mm2 < 0.2
+
+
+class TestAccumulatorAblation:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return ablation_accumulator.run(
+            DIGITS_QUICK_SPEC, n_bits=7, acc_bits_range=(0, 2, 4), saturate_modes=("final",)
+        )
+
+    def test_tiny_headroom_hurts(self, grid):
+        by_a = {g.acc_bits: g.accuracy for g in grid}
+        assert by_a[2] > by_a[0]
+
+    def test_plateau_beyond_two_bits(self, grid):
+        by_a = {g.acc_bits: g.accuracy for g in grid}
+        assert abs(by_a[4] - by_a[2]) < 0.05
+
+    def test_floor_rounding_collapses_fixed_point(self):
+        accs = ablation_accumulator.run_rounding(DIGITS_QUICK_SPEC, n_bits=7)
+        assert accs["nearest"] > accs["floor"] + 0.2
+        assert accs["nearest"] >= accs["zero"] - 0.02

@@ -1,0 +1,98 @@
+"""End-to-end integration: train, quantize, swap arithmetic, fine-tune.
+
+Uses the cached quick benchmark models (trained on first run), so these
+tests exercise the full dataset -> training -> calibration -> engine ->
+evaluation pipeline exactly as the Fig. 6 harness does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DIGITS_QUICK_SPEC, get_trained_model
+from repro.experiments.fig6_accuracy import Fig6Config, run as fig6_run
+from repro.nn import SgdConfig, Trainer, attach_engines
+
+
+@pytest.fixture(scope="module")
+def digits_model():
+    return get_trained_model(DIGITS_QUICK_SPEC)
+
+
+class TestAccuracyOrdering:
+    def test_float_baseline_strong(self, digits_model):
+        assert digits_model.float_accuracy > 0.9
+
+    def test_proposed_tracks_fixed_point(self, digits_model):
+        """Fig. 6(a): at 8 bits both are near the float baseline."""
+        m = digits_model
+        ds = m.dataset
+        accs = {}
+        for kind in ("fixed", "proposed-sc", "lfsr-sc"):
+            attach_engines(m.net, kind, m.ranges, n_bits=8)
+            accs[kind] = m.net.accuracy(ds.x_test, ds.y_test)
+        m.restore_float()
+        assert accs["fixed"] > m.float_accuracy - 0.05
+        assert accs["proposed-sc"] > m.float_accuracy - 0.07
+        assert accs["lfsr-sc"] < accs["proposed-sc"] - 0.1  # conventional SC far below
+
+    def test_proposed_improves_with_precision(self, digits_model):
+        m = digits_model
+        ds = m.dataset
+        accs = []
+        for n in (5, 8):
+            attach_engines(m.net, "proposed-sc", m.ranges, n_bits=n)
+            accs.append(m.net.accuracy(ds.x_test, ds.y_test))
+        m.restore_float()
+        assert accs[1] >= accs[0]
+
+
+class TestFineTuning:
+    def test_finetune_recovers_lfsr_accuracy(self, digits_model):
+        """Fig. 6(b): fine-tuning recovers most of conventional SC's loss."""
+        m = digits_model
+        ds = m.dataset
+        m.restore_float()
+        attach_engines(m.net, "lfsr-sc", m.ranges, n_bits=6)
+        before = m.net.accuracy(ds.x_test, ds.y_test)
+        trainer = Trainer(m.net, SgdConfig(lr=0.02, batch_size=64, seed=3))
+        trainer.train(ds.x_train, ds.y_train, epochs=2)
+        after = m.net.accuracy(ds.x_test, ds.y_test)
+        m.restore_float()
+        assert after > before + 0.3
+        assert after > 0.7
+
+
+class TestFig6Harness:
+    def test_micro_run(self):
+        cfg = Fig6Config(
+            spec=DIGITS_QUICK_SPEC,
+            precisions=(8,),
+            methods=("fixed", "proposed-sc"),
+            fine_tune=False,
+        )
+        result = fig6_run(cfg)
+        assert result.float_accuracy > 0.9
+        assert result.no_finetune["proposed-sc"][8] > result.float_accuracy - 0.08
+        assert not result.finetuned
+
+    def test_result_tables_render(self):
+        from repro.experiments.fig6_accuracy import result_tables
+
+        cfg = Fig6Config(
+            spec=DIGITS_QUICK_SPEC, precisions=(8,), methods=("fixed",), fine_tune=False
+        )
+        text = result_tables(fig6_run(cfg))
+        assert "without fine-tuning" in text
+
+    def test_claims_check(self):
+        from repro.experiments.fig6_accuracy import claims_check
+
+        cfg = Fig6Config(
+            spec=DIGITS_QUICK_SPEC,
+            precisions=(5, 8),
+            methods=("fixed", "proposed-sc", "lfsr-sc"),
+            fine_tune=False,
+        )
+        checks = claims_check(fig6_run(cfg))
+        failed = [k for k, v in checks.items() if not v]
+        assert not failed, failed

@@ -1,0 +1,62 @@
+"""Conv2D layers driven by each multiply engine — accuracy contracts."""
+
+import numpy as np
+import pytest
+
+from repro.nn.engines import make_engine
+from repro.nn.layers import Conv2D
+
+
+@pytest.fixture
+def conv_setup(rng):
+    conv = Conv2D(2, 4, kernel=3, pad=1, rng=rng)
+    conv.weight.value *= 0.5 / max(np.abs(conv.weight.value).max(), 1e-9)
+    x = rng.uniform(-0.9, 0.9, size=(2, 2, 8, 8))
+    ref = conv.forward(x)  # float engine by default
+    return conv, x, ref
+
+
+class TestEnginesInsideConv:
+    @pytest.mark.parametrize("kind", ["fixed", "proposed-sc"])
+    def test_high_precision_tracks_float(self, conv_setup, kind):
+        conv, x, ref = conv_setup
+        conv.engine = make_engine(kind, n_bits=11, acc_bits=5)
+        out = conv.forward(x)
+        assert np.abs(out - ref).max() < 0.1
+
+    def test_lfsr_engine_noisier_but_sane(self, conv_setup):
+        conv, x, ref = conv_setup
+        conv.engine = make_engine("lfsr-sc", n_bits=9, acc_bits=5)
+        out = conv.forward(x)
+        assert np.sqrt(((out - ref) ** 2).mean()) < 0.8 * max(ref.std(), 1.0)
+
+    def test_error_shrinks_with_precision(self, conv_setup):
+        conv, x, ref = conv_setup
+        errs = []
+        for n in (5, 8, 11):
+            conv.engine = make_engine("proposed-sc", n_bits=n, acc_bits=5)
+            errs.append(float(np.abs(conv.forward(x) - ref).mean()))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_bias_still_applied(self, rng):
+        conv = Conv2D(1, 2, kernel=3, rng=rng)
+        conv.weight.value[:] = 0.0
+        conv.bias.value[:] = [0.25, -0.5]
+        conv.engine = make_engine("proposed-sc", n_bits=8)
+        out = conv.forward(np.zeros((1, 1, 5, 5)))
+        assert np.allclose(out[0, 0], 0.25) and np.allclose(out[0, 1], -0.5)
+
+    def test_backward_unaffected_by_engine(self, conv_setup, rng):
+        """Straight-through: gradients are float regardless of engine."""
+        conv, x, _ = conv_setup
+        gy = rng.normal(size=(2, 4, 8, 8))
+        conv.engine = make_engine("float")
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(gy)
+        g_float = conv.weight.grad.copy()
+        conv.engine = make_engine("proposed-sc", n_bits=8)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(gy)
+        assert np.allclose(conv.weight.grad, g_float)

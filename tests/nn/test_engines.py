@@ -1,0 +1,125 @@
+"""Tests for the convolution multiply engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.mvm import sc_matmul
+from repro.nn.engines import (
+    FixedPointEngine,
+    FloatEngine,
+    LfsrScEngine,
+    ProposedScEngine,
+    make_engine,
+)
+from repro.sc.encoding import quantize_signed
+
+
+@pytest.fixture
+def operands(rng):
+    w = rng.uniform(-0.6, 0.6, size=(6, 30))
+    x = rng.uniform(-0.95, 0.95, size=(30, 40))
+    return w, x
+
+
+class TestFloatEngine:
+    def test_exact(self, operands):
+        w, x = operands
+        assert np.allclose(FloatEngine().matmul(w, x), w @ x)
+
+
+class TestFixedPointEngine:
+    def test_high_precision_converges(self, operands):
+        w, x = operands
+        y = FixedPointEngine(n_bits=12, acc_bits=4).matmul(w, x)
+        assert np.abs(y - w @ x).max() < 0.05
+
+    def test_nearest_less_biased_than_floor(self, operands):
+        w, x = operands
+        ref = w @ x
+        nearest = FixedPointEngine(rounding="nearest", n_bits=7, acc_bits=4).matmul(w, x)
+        floor = FixedPointEngine(rounding="floor", n_bits=7, acc_bits=4).matmul(w, x)
+        assert abs((nearest - ref).mean()) < abs((floor - ref).mean())
+        # floor bias is about -0.5 LSB per term, negative by construction
+        assert (floor - ref).mean() < 0
+
+    def test_term_saturation_path(self, operands):
+        w, x = operands
+        a = FixedPointEngine(n_bits=8, acc_bits=2, saturate="term").matmul(w, x)
+        b = FixedPointEngine(n_bits=8, acc_bits=8, saturate="term").matmul(w, x)
+        # with generous headroom both paths agree with the chunked one
+        c = FixedPointEngine(n_bits=8, acc_bits=8, saturate="final").matmul(w, x)
+        assert np.allclose(b, c)
+        assert a.shape == (6, 40)
+
+    def test_scales_roundtrip(self, rng):
+        w = rng.uniform(-2.0, 2.0, size=(3, 10))
+        x = rng.uniform(-8.0, 8.0, size=(10, 5))
+        y = FixedPointEngine(n_bits=12, acc_bits=6, w_scale=2.0, x_scale=8.0).matmul(w, x)
+        assert np.abs(y - w @ x).max() < 0.5
+
+    def test_bad_rounding_mode(self):
+        with pytest.raises(ValueError):
+            FixedPointEngine(rounding="stochastic")
+
+
+class TestProposedEngine:
+    def test_matches_sc_matmul(self, operands):
+        w, x = operands
+        n = 8
+        eng = ProposedScEngine(n_bits=n, acc_bits=6, saturate=None)
+        got = eng.matmul(w, x)
+        w_int = quantize_signed(w, n)
+        x_int = quantize_signed(x, n)
+        expected = sc_matmul(w_int, x_int, n, saturate=None) / (1 << (n - 1))
+        assert np.allclose(got, expected)
+
+    def test_accuracy_improves_with_precision(self, operands):
+        w, x = operands
+        ref = w @ x
+        errs = []
+        for n in (5, 8, 11):
+            y = ProposedScEngine(n_bits=n, acc_bits=6).matmul(w, x)
+            errs.append(np.sqrt(((y - ref) ** 2).mean()))
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestLfsrEngine:
+    def test_error_moderate_but_worse_than_proposed(self, operands):
+        w, x = operands
+        ref = w @ x
+        lfsr = LfsrScEngine(n_bits=8, acc_bits=6).matmul(w, x)
+        ours = ProposedScEngine(n_bits=8, acc_bits=6).matmul(w, x)
+        rmse_lfsr = np.sqrt(((lfsr - ref) ** 2).mean())
+        rmse_ours = np.sqrt(((ours - ref) ** 2).mean())
+        assert rmse_ours < rmse_lfsr < 10 * rmse_ours + 1.0
+        assert rmse_lfsr < 0.5 * np.abs(ref).std() + 0.5
+
+    def test_deterministic(self, operands):
+        w, x = operands
+        a = LfsrScEngine(n_bits=6).matmul(w, x)
+        b = LfsrScEngine(n_bits=6).matmul(w, x)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seeds(self, operands):
+        w, x = operands
+        a = LfsrScEngine(n_bits=6, seed_w=1, seed_x=5).matmul(w, x)
+        b = LfsrScEngine(n_bits=6, seed_w=1, seed_x=9).matmul(w, x)
+        assert not np.array_equal(a, b)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        for kind in ("float", "fixed", "lfsr-sc", "proposed-sc"):
+            assert make_engine(kind, n_bits=6).name in (kind, "fixed")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_engine("quantum")
+
+    def test_bad_saturate(self):
+        with pytest.raises(ValueError):
+            make_engine("fixed", saturate="sometimes")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_engine("fixed", w_scale=0.0)

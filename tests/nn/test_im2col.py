@@ -1,0 +1,57 @@
+"""Tests for the im2col lowering."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, im2col
+
+
+def naive_conv(x, w, stride=1, pad=0):
+    """Reference direct convolution, NCHW."""
+    n, c, h, wd = x.shape
+    m, _, k, _ = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - k) // stride + 1
+    ow = (wd + 2 * pad - k) // stride + 1
+    out = np.zeros((n, m, oh, ow))
+    for ni in range(n):
+        for mi in range(m):
+            for r in range(oh):
+                for cc in range(ow):
+                    patch = x[ni, :, r * stride : r * stride + k, cc * stride : cc * stride + k]
+                    out[ni, mi, r, cc] = (patch * w[mi]).sum()
+    return out
+
+
+class TestIm2col:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 2), (2, 0), (2, 1)])
+    def test_matches_naive_conv(self, rng, stride, pad):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols, (oh, ow) = im2col(x, 3, stride, pad)
+        y = (w.reshape(4, -1) @ cols).reshape(4, 2, oh, ow).transpose(1, 0, 2, 3)
+        assert np.allclose(y, naive_conv(x, w, stride, pad))
+
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(5, 2, 12, 10))
+        cols, (oh, ow) = im2col(x, 3)
+        assert (oh, ow) == (10, 8)
+        assert cols.shape == (2 * 9, 5 * 10 * 8)
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 3, 3)), 5)
+
+
+class TestCol2im:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1)])
+    def test_adjointness(self, rng, stride, pad):
+        """<im2col(x), g> == <x, col2im(g)> — the defining property of
+        the transpose, which is exactly what backward needs."""
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, _ = im2col(x, 3, stride, pad)
+        g = rng.normal(size=cols.shape)
+        lhs = float((cols * g).sum())
+        rhs = float((x * col2im(g, x.shape, 3, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,136 @@
+"""Gradient checks and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.layers.softmax import softmax
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+def check_input_grad(layer, x, rng, tol=1e-6):
+    gy = rng.normal(size=layer.forward(x).shape)
+    gx = layer.backward(gy)
+    num = numerical_grad(lambda: float((layer.forward(x) * gy).sum()), x)
+    assert np.abs(gx - num).max() < tol
+
+
+class TestConv2D:
+    def test_input_gradient(self, rng):
+        conv = Conv2D(2, 3, kernel=3, pad=1, rng=rng)
+        check_input_grad(conv, rng.normal(size=(2, 2, 5, 5)), rng)
+
+    def test_param_gradients(self, rng):
+        conv = Conv2D(2, 3, kernel=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 2, 7, 7))
+        gy = rng.normal(size=conv.forward(x).shape)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(gy)
+        loss = lambda: float((conv.forward(x) * gy).sum())
+        assert np.abs(conv.weight.grad - numerical_grad(loss, conv.weight.value)).max() < 1e-6
+        assert np.abs(conv.bias.grad - numerical_grad(loss, conv.bias.value)).max() < 1e-6
+
+    def test_backward_before_forward(self, rng):
+        conv = Conv2D(1, 1, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 3, 3)))
+
+    def test_output_shape(self, rng):
+        conv = Conv2D(3, 8, kernel=5, pad=2, rng=rng)
+        assert conv.forward(rng.normal(size=(4, 3, 32, 32))).shape == (4, 8, 32, 32)
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_maxpool_gradient(self, rng):
+        check_input_grad(MaxPool2D(2), rng.normal(size=(2, 2, 6, 6)), rng)
+
+    def test_maxpool_strided_gradient(self, rng):
+        check_input_grad(MaxPool2D(3, stride=2), rng.normal(size=(2, 2, 7, 7)), rng)
+
+    def test_avgpool_forward(self):
+        x = np.ones((1, 1, 4, 4))
+        assert np.allclose(AvgPool2D(2).forward(x), 1.0)
+
+    def test_avgpool_gradient(self, rng):
+        check_input_grad(AvgPool2D(3, stride=2), rng.normal(size=(2, 2, 7, 7)), rng)
+
+
+class TestDense:
+    def test_gradients(self, rng):
+        dense = Dense(6, 4, rng=rng)
+        x = rng.normal(size=(3, 6))
+        gy = rng.normal(size=(3, 4))
+        dense.zero_grad()
+        dense.forward(x)
+        gx = dense.backward(gy)
+        loss = lambda: float((dense.forward(x) * gy).sum())
+        assert np.abs(gx - numerical_grad(loss, x)).max() < 1e-6
+        assert np.abs(dense.weight.grad - numerical_grad(loss, dense.weight.value)).max() < 1e-6
+        assert np.abs(dense.bias.grad - numerical_grad(loss, dense.bias.value)).max() < 1e-6
+
+
+class TestActivationsAndShape:
+    def test_relu(self, rng):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        assert relu.forward(x).tolist() == [[0.0, 2.0]]
+        assert relu.backward(np.ones_like(x)).tolist() == [[0.0, 1.0]]
+
+    def test_flatten_roundtrip(self, rng):
+        f = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = f.forward(x)
+        assert y.shape == (2, 48)
+        assert f.backward(y).shape == x.shape
+
+
+class TestSoftmaxCE:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.normal(size=(5, 10)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_loss_of_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self, rng):
+        ce = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        ce.forward(logits, labels)
+        grad = ce.backward()
+        num = numerical_grad(lambda: ce.forward(logits, labels), logits)
+        assert np.abs(grad - num).max() < 1e-6
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()

@@ -1,0 +1,64 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    classification_report,
+    confusion_matrix,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_known_counts(self):
+        cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], num_classes=3)
+        assert cm.tolist() == [[1, 1, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_infers_num_classes(self):
+        cm = confusion_matrix([0, 4], [4, 0])
+        assert cm.shape == (5, 5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_total_preserved(self, rng):
+        labels = rng.integers(0, 7, 200)
+        preds = rng.integers(0, 7, 200)
+        assert confusion_matrix(labels, preds).sum() == 200
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        acc = per_class_accuracy([0, 0, 1], [0, 1, 1], num_classes=3)
+        assert acc[0] == pytest.approx(0.5)
+        assert acc[1] == pytest.approx(1.0)
+        assert np.isnan(acc[2])  # class absent from labels
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self, rng):
+        logits = rng.normal(size=(50, 10))
+        labels = rng.integers(0, 10, 50)
+        top1 = top_k_accuracy(labels, logits, k=1)
+        assert top1 == pytest.approx(float((logits.argmax(1) == labels).mean()))
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.normal(size=(80, 10))
+        labels = rng.integers(0, 10, 80)
+        accs = [top_k_accuracy(labels, logits, k=k) for k in (1, 3, 10)]
+        assert accs == sorted(accs)
+        assert accs[-1] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy([0, 1], np.zeros((3, 4)))
+
+
+class TestReport:
+    def test_renders(self):
+        text = classification_report([0, 1, 1], [0, 1, 0], num_classes=2)
+        assert "overall accuracy: 0.6667" in text
+        assert text.count("\n") == 3

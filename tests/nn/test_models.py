@@ -1,0 +1,34 @@
+"""Tests for the reference network topologies."""
+
+import numpy as np
+
+from repro.nn import build_cifar_net, build_mnist_net
+
+
+class TestMnistNet:
+    def test_forward_shape(self, rng):
+        net = build_mnist_net(seed=0)
+        out = net.forward(rng.normal(size=(3, 1, 28, 28)))
+        assert out.shape == (3, 10)
+
+    def test_two_conv_layers(self):
+        assert len(build_mnist_net().conv_layers) == 2
+
+    def test_deterministic_init(self):
+        a = build_mnist_net(seed=5)
+        b = build_mnist_net(seed=5)
+        assert np.array_equal(a.params[0].value, b.params[0].value)
+
+    def test_configurable_width(self, rng):
+        net = build_mnist_net(seed=0, c1=4, c2=8, fc=32)
+        assert net.forward(rng.normal(size=(2, 1, 28, 28))).shape == (2, 10)
+
+
+class TestCifarNet:
+    def test_forward_shape(self, rng):
+        net = build_cifar_net(seed=0)
+        out = net.forward(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+
+    def test_three_conv_layers(self):
+        assert len(build_cifar_net().conv_layers) == 3

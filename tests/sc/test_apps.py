@@ -1,0 +1,69 @@
+"""Tests for the SC edge-detection application."""
+
+import numpy as np
+import pytest
+
+from repro.sc.apps import edge_detection_error, roberts_cross_exact, roberts_cross_sc
+
+
+@pytest.fixture
+def test_image(rng):
+    """A soft-edged square on a dark background, values in [0, 1]."""
+    img = np.zeros((16, 16))
+    img[4:12, 4:12] = 0.9
+    img += rng.uniform(0, 0.05, img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+class TestExact:
+    def test_flat_image_has_no_edges(self):
+        assert np.allclose(roberts_cross_exact(np.full((8, 8), 0.5)), 0.0)
+
+    def test_step_edge_detected(self):
+        img = np.zeros((4, 4))
+        img[:, 2:] = 1.0
+        out = roberts_cross_exact(img)
+        assert out.max() == pytest.approx(1.0)  # (|0-1| + |0-1|)/2 at the step
+
+    def test_output_shape(self):
+        assert roberts_cross_exact(np.zeros((10, 12))).shape == (9, 11)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            roberts_cross_exact(np.zeros(5))
+
+
+class TestStochastic:
+    def test_full_length_near_exact(self, test_image):
+        exact = roberts_cross_exact(test_image)
+        got = roberts_cross_sc(test_image, n_bits=8)
+        assert np.sqrt(((got - exact) ** 2).mean()) < 0.06
+
+    def test_edges_localized_correctly(self, test_image):
+        got = roberts_cross_sc(test_image, n_bits=8)
+        exact = roberts_cross_exact(test_image)
+        # strongest responses land on the same pixels
+        assert np.argmax(got) == np.argmax(exact) or got.flat[np.argmax(exact)] > 0.3
+
+    def test_sobol_beats_lfsr_at_short_streams(self, test_image):
+        exact = roberts_cross_exact(test_image)
+        err = {}
+        for source in ("lfsr", "sobol"):
+            got = roberts_cross_sc(test_image, n_bits=8, length=32, source=source)
+            err[source] = float(np.sqrt(((got - exact) ** 2).mean()))
+        assert err["sobol"] <= err["lfsr"] * 1.2  # low-discrepancy converges faster
+
+    def test_out_of_range_image_rejected(self):
+        with pytest.raises(ValueError):
+            roberts_cross_sc(np.full((4, 4), 1.5))
+
+    def test_unknown_source(self, test_image):
+        with pytest.raises(ValueError):
+            roberts_cross_sc(test_image, source="dice")
+
+
+class TestErrorSweep:
+    def test_error_falls_with_length(self, test_image):
+        rows = edge_detection_error(test_image, lengths=(16, 256))
+        lfsr = {r["length"]: r["rms_error"] for r in rows if r["source"] == "lfsr"}
+        assert lfsr[256.0] < lfsr[16.0]

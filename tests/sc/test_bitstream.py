@@ -1,0 +1,52 @@
+"""Tests for bitstream value and correlation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sc.bitstream import prefix_ones, sc_correlation, sn_value, stream_from_probability
+from repro.sc.encoding import BIPOLAR, UNIPOLAR
+
+
+class TestSnValue:
+    def test_unipolar(self):
+        assert sn_value(np.array([1, 0, 1, 0])) == 0.5
+
+    def test_bipolar(self):
+        assert sn_value(np.array([1, 1, 1, 0]), BIPOLAR) == 0.5
+        assert sn_value(np.array([0, 0]), BIPOLAR) == -1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sn_value(np.array([]))
+
+
+class TestCorrelation:
+    def test_identical_streams(self, rng):
+        a = (rng.random(256) < 0.5).astype(int)
+        assert sc_correlation(a, a) == pytest.approx(1.0)
+
+    def test_complementary_streams(self):
+        a = np.array([1, 0] * 64)
+        assert sc_correlation(a, 1 - a) == pytest.approx(-1.0)
+
+    def test_independent_streams_near_zero(self, rng):
+        a = (rng.random(4096) < 0.5).astype(int)
+        b = (rng.random(4096) < 0.5).astype(int)
+        assert abs(sc_correlation(a, b)) < 0.1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sc_correlation(np.ones(4), np.ones(5))
+
+
+class TestHelpers:
+    def test_prefix_ones(self):
+        assert prefix_ones(np.array([1, 0, 1, 1])).tolist() == [1, 1, 2, 3]
+
+    def test_stream_probability(self, rng):
+        s = stream_from_probability(0.25, 8192, rng)
+        assert abs(s.mean() - 0.25) < 0.03
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            stream_from_probability(1.5, 10)

@@ -1,0 +1,65 @@
+"""Tests for even-distribution (ED) bitstreams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sc.ed import (
+    EvenDistributionSource,
+    even_distribution_prefix_ones,
+    even_distribution_stream,
+)
+
+
+class TestStream:
+    def test_half_value(self):
+        assert even_distribution_stream(4, 3).tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_extremes(self):
+        assert even_distribution_stream(0, 3).sum() == 0
+        assert even_distribution_stream(8, 3).sum() == 8
+
+    @given(st.integers(1, 8), st.integers(0, 255))
+    def test_total_ones_exact(self, n, raw):
+        v = raw % ((1 << n) + 1)
+        assert int(even_distribution_stream(v, n).sum()) == v
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(1, 255))
+    def test_prefix_evenness(self, n, raw_v, raw_t):
+        """Every prefix ones count is within 1 of the ideal rate."""
+        v = raw_v % ((1 << n) + 1)
+        t = raw_t % (1 << n) + 1
+        ones = int(even_distribution_stream(v, n)[:t].sum())
+        assert abs(ones - t * v / (1 << n)) < 1.0
+
+    @given(st.integers(2, 8), st.integers(0, 255), st.integers(0, 255))
+    def test_prefix_closed_form(self, n, raw_v, raw_t):
+        v = raw_v % ((1 << n) + 1)
+        t = raw_t % ((1 << n) + 1)
+        stream = even_distribution_stream(v, n)
+        assert even_distribution_prefix_ones(v, n, t) == int(stream[:t].sum())
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            even_distribution_stream(9, 3)
+
+
+class TestSource:
+    def test_bit_parallel_concatenates_to_stream(self):
+        src = EvenDistributionSource(6, bits_per_cycle=8)
+        chunks = [src.step(37) for _ in range(src.cycles_per_stream)]
+        assert np.concatenate(chunks).tolist() == even_distribution_stream(37, 6).tolist()
+
+    def test_cycles_per_stream(self):
+        assert EvenDistributionSource(10, 32).cycles_per_stream == 32
+
+    def test_reset(self):
+        src = EvenDistributionSource(5, bits_per_cycle=4)
+        a = src.step(11)
+        src.reset()
+        assert np.array_equal(src.step(11), a)
+
+    def test_indivisible_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            EvenDistributionSource(5, bits_per_cycle=3)

@@ -1,0 +1,70 @@
+"""Tests for Halton low-discrepancy sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sc.halton import HaltonSource, halton_int_sequence, halton_sequence, radical_inverse
+
+
+class TestRadicalInverse:
+    def test_base2_values(self):
+        assert [radical_inverse(i, 2) for i in range(4)] == [0.0, 0.5, 0.25, 0.75]
+
+    def test_base3_values(self):
+        got = [radical_inverse(i, 3) for i in range(4)]
+        assert got == pytest.approx([0.0, 1 / 3, 2 / 3, 1 / 9])
+
+    def test_vectorized_matches_scalar(self):
+        idx = np.arange(50)
+        vec = radical_inverse(idx, 3)
+        assert vec == pytest.approx([radical_inverse(int(i), 3) for i in idx])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            radical_inverse(-1, 2)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            radical_inverse(3, 1)
+
+    @given(st.integers(0, 10**6), st.integers(2, 7))
+    def test_range(self, i, base):
+        v = radical_inverse(i, base)
+        assert 0.0 <= v < 1.0
+
+
+class TestLowDiscrepancy:
+    @pytest.mark.parametrize("base", [2, 3])
+    def test_prefix_counts_are_balanced(self, base):
+        """Every prefix has close to the expected number of points per bin."""
+        pts = halton_sequence(512, base)
+        for t in (64, 128, 512):
+            hist, _ = np.histogram(pts[:t], bins=8, range=(0, 1))
+            assert hist.max() - hist.min() <= max(4, base + 1)
+
+    def test_int_sequence_range(self):
+        seq = halton_int_sequence(1000, 2, 6)
+        assert seq.min() >= 0 and seq.max() < 64
+
+    def test_base2_is_bit_reversal(self):
+        """Base-2 Halton scaled to n bits == bit-reversed counter."""
+        n = 4
+        seq = halton_int_sequence(16, 2, n)
+        expected = [int(format(i, f"0{n}b")[::-1], 2) for i in range(16)]
+        assert seq.tolist() == expected
+
+
+class TestHaltonSource:
+    def test_streaming_matches_batch(self):
+        src = HaltonSource(6, base=2)
+        stepwise = [src.step() for _ in range(20)]
+        src.reset()
+        assert np.array_equal(src.sequence(20), stepwise)
+
+    def test_reset(self):
+        src = HaltonSource(6, base=3)
+        a = src.sequence(15)
+        src.reset()
+        assert np.array_equal(src.sequence(15), a)

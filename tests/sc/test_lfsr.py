@@ -1,0 +1,74 @@
+"""Tests for the LFSR random source."""
+
+import numpy as np
+import pytest
+
+from repro.sc.lfsr import MAXIMAL_TAPS, Lfsr
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("n", sorted(MAXIMAL_TAPS)[:10])
+    def test_primary_polynomial_is_maximal(self, n):
+        lfsr = Lfsr(n)
+        seq = lfsr.full_period_sequence()
+        assert len(set(seq.tolist())) == (1 << n) - 1
+
+    @pytest.mark.parametrize("n", [4, 5, 8, 9, 10])
+    def test_alternate_polynomial_is_maximal(self, n):
+        lfsr = Lfsr(n, alternate=True)
+        seq = lfsr.full_period_sequence()
+        assert len(set(seq.tolist())) == (1 << n) - 1
+
+    @pytest.mark.parametrize("n", [4, 5, 8])
+    def test_never_zero(self, n):
+        seq = Lfsr(n).sequence(3 * ((1 << n) - 1))
+        assert (seq > 0).all()
+        assert (seq < (1 << n)).all()
+
+
+class TestMechanics:
+    def test_seed_is_first_output(self):
+        lfsr = Lfsr(5, seed=9)
+        assert lfsr.sequence(1)[0] == 9
+
+    def test_reset_restores_sequence(self):
+        lfsr = Lfsr(6, seed=3)
+        a = lfsr.sequence(20)
+        lfsr.reset()
+        b = lfsr.sequence(20)
+        assert np.array_equal(a, b)
+
+    def test_full_period_sequence_does_not_mutate(self):
+        lfsr = Lfsr(5)
+        lfsr.sequence(7)
+        state = lfsr.state
+        lfsr.full_period_sequence()
+        assert lfsr.state == state
+
+    def test_period_property(self):
+        assert Lfsr(8).period == 255
+
+    def test_different_seeds_shift_phase(self):
+        a = Lfsr(6, seed=1).full_period_sequence()
+        b = Lfsr(6, seed=17).full_period_sequence()
+        # same cycle, different starting point
+        assert set(a.tolist()) == set(b.tolist())
+        assert not np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_unknown_width(self):
+        with pytest.raises(ValueError):
+            Lfsr(99)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(5, seed=0)
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(5, seed=32)
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(5, taps=(6, 1))

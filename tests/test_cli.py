@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_multiply_args(self):
+        args = build_parser().parse_args(["multiply", "-38", "87", "--n-bits", "9"])
+        assert (args.w, args.x, args.n_bits) == (-38, 87, 9)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_multiply(self, capsys):
+        assert main(["multiply", "-38", "87", "--n-bits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out and "latency" in out
+        assert "38 cycles" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "fig5" in out
+
+    def test_rtl(self, tmp_path, capsys):
+        assert main(["rtl", "--out", str(tmp_path), "--n-bits", "6", "--lanes", "4"]) == 0
+        assert (tmp_path / "sc_mac_6.v").exists()
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "proposed-serial" in capsys.readouterr().out
