@@ -1,17 +1,28 @@
 """Benchmark-suite fixtures.
 
-The benchmarks reuse the cached quick benchmark models (training them on
-first use), so ``pytest benchmarks/ --benchmark-only`` is self-contained.
+The benchmarks reuse the cached quick benchmark models (training them
+on first use) through the self-healing artifact store, so
+``pytest benchmarks/ --benchmark-only`` is self-contained even when
+``.repro_cache/`` holds corrupt checkpoints — the store quarantines
+them and retrains instead of crashing the run.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments import DIGITS_QUICK_SPEC, get_trained_model
+from repro.experiments import DIGITS_QUICK_SPEC, get_store, get_trained_model
 
 
 @pytest.fixture(scope="session")
 def digits_model():
     """Trained quick digits model, shared across all benchmarks."""
     return get_trained_model(DIGITS_QUICK_SPEC)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_torn_artifacts():
+    """Atomic writes must never leave ``*.tmp`` litter in the store."""
+    yield
+    leftovers = list(get_store().root.glob("*.tmp"))
+    assert not leftovers, f"torn artifact writes left behind: {leftovers}"

@@ -10,7 +10,6 @@ Table 3 in one view).
 Run:  python examples/hardware_design_space.py
 """
 
-import numpy as np
 
 from repro.analysis import laplace_weights_for_target_latency, weight_latency_stats
 from repro.hw import (

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sc.bitstream import sc_correlation
-from repro.sc.ed import even_distribution_stream
 from repro.sc.halton import halton_int_sequence
 from repro.sc.lfsr import Lfsr
 from repro.sc.multipliers import bipolar_xnor_stream

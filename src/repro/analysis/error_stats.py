@@ -36,7 +36,13 @@ from repro.sc.multipliers import (
     select_low_bias_seeds,
 )
 
-__all__ = ["ErrorStats", "METHODS", "error_statistics", "proposed_error_stats", "conventional_error_stats"]
+__all__ = [
+    "ErrorStats",
+    "METHODS",
+    "error_statistics",
+    "proposed_error_stats",
+    "conventional_error_stats",
+]
 
 METHODS = ("lfsr", "halton", "ed", "proposed")
 

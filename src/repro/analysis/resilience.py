@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.signed import bisc_multiply_signed, multiply_latency
+from repro.core.signed import bisc_multiply_signed
 from repro.sc.encoding import signed_range
 
 __all__ = [

@@ -6,6 +6,7 @@ Commands
 ``experiment`` run a named experiment harness (or ``all``)
 ``rtl``        emit the Verilog RTL project
 ``info``       version, experiment list, benchmark specs
+``cache``      inspect/verify/clear the checkpoint artifact store
 """
 
 from __future__ import annotations
@@ -56,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rtl.add_argument("--lanes", type=int, default=16)
 
     sub.add_parser("info", help="version and available experiments")
+
+    p_cache = sub.add_parser("cache", help="inspect the checkpoint artifact store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list store contents")
+    cache_sub.add_parser(
+        "verify", help="validate every checkpoint/result (zip, SHA-256, fingerprint)"
+    )
+    p_clear = cache_sub.add_parser("clear", help="delete store contents")
+    p_clear.add_argument(
+        "--quarantined",
+        action="store_true",
+        help="only delete quarantined (*.corrupt) files",
+    )
     return parser
 
 
@@ -118,6 +132,45 @@ def _cmd_rtl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        DIGITS_QUICK_SPEC,
+        DIGITS_SPEC,
+        SHAPES_QUICK_SPEC,
+        SHAPES_SPEC,
+        cache_dir,
+        get_store,
+    )
+
+    store = get_store()
+    print(f"artifact store: {cache_dir()}")
+    if args.cache_command == "ls":
+        entries = store.ls()
+        if not entries:
+            print("(empty)")
+        for info in entries:
+            print(f"{info.kind:12s} {info.size:10d}  {info.name}")
+    elif args.cache_command == "verify":
+        known = {
+            s.name: s.fingerprint()
+            for s in (DIGITS_SPEC, DIGITS_QUICK_SPEC, SHAPES_SPEC, SHAPES_QUICK_SPEC)
+        }
+        bad = 0
+        entries = store.verify(fingerprints=known)
+        if not entries:
+            print("(nothing to verify)")
+        for info in entries:
+            detail = f"  ({info.reason})" if info.reason else ""
+            print(f"{info.status:12s} {info.name}{detail}")
+            if info.status in ("corrupt", "stale"):
+                bad += 1
+        return 1 if bad else 0
+    elif args.cache_command == "clear":
+        removed = store.clear(quarantined_only=args.quarantined)
+        print(f"removed {removed} file(s)")
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro
     from repro.experiments.common import DIGITS_SPEC, SHAPES_SPEC
@@ -136,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "rtl": _cmd_rtl,
         "info": _cmd_info,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

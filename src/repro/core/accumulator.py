@@ -12,7 +12,12 @@ import numpy as np
 
 from repro.sc.counters import SaturatingUpDownCounter, saturating_accumulate, saturating_add
 
-__all__ = ["SaturatingAccumulatorArray", "SaturatingUpDownCounter", "saturating_accumulate", "saturating_add"]
+__all__ = [
+    "SaturatingAccumulatorArray",
+    "SaturatingUpDownCounter",
+    "saturating_accumulate",
+    "saturating_add",
+]
 
 
 class SaturatingAccumulatorArray:

@@ -30,6 +30,7 @@ from repro.experiments import (
     table2_area,
     table3_accel,
 )
+from repro.experiments.artifacts import ArtifactInfo, ArtifactStore
 from repro.experiments.results_io import load_result, save_result, to_jsonable
 from repro.experiments.common import (
     DIGITS_QUICK_SPEC,
@@ -38,6 +39,7 @@ from repro.experiments.common import (
     SHAPES_SPEC,
     BenchmarkSpec,
     TrainedModel,
+    get_store,
     get_trained_model,
 )
 
@@ -54,8 +56,11 @@ __all__ = [
     "ablation_energy_quality",
     "resilience_study",
     "network_performance",
+    "ArtifactInfo",
+    "ArtifactStore",
     "BenchmarkSpec",
     "TrainedModel",
+    "get_store",
     "get_trained_model",
     "DIGITS_SPEC",
     "DIGITS_QUICK_SPEC",

@@ -54,7 +54,9 @@ def run(
     out = []
     for a in acc_bits_range:
         for mode in saturate_modes:
-            attach_engines(model.net, engine, model.ranges, n_bits=n_bits, acc_bits=a, saturate=mode)
+            attach_engines(
+                model.net, engine, model.ranges, n_bits=n_bits, acc_bits=a, saturate=mode
+            )
             acc = model.net.accuracy(ds.x_test, ds.y_test)
             out.append(AccumulatorAblation(engine, n_bits, a, mode, acc))
     return out

@@ -70,7 +70,13 @@ def main(precision: int = 9) -> str:
     table = format_table(
         ["b", "area/MAC um^2", "avg cycles", "pJ/MAC", "ADP"],
         [
-            [r.bit_parallel, f"{r.mac_area_um2:.1f}", f"{r.avg_cycles:.3f}", f"{r.energy_per_mac_pj:.4f}", f"{r.adp_um2_cycles:.1f}"]
+            [
+                r.bit_parallel,
+                f"{r.mac_area_um2:.1f}",
+                f"{r.avg_cycles:.3f}",
+                f"{r.energy_per_mac_pj:.4f}",
+                f"{r.adp_um2_cycles:.1f}",
+            ]
             for r in rows
         ],
     )

@@ -6,11 +6,15 @@ ASCII table formatting used by every harness's ``main()``.
 
 Model/dataset caches live under ``$REPRO_CACHE_DIR`` (default:
 ``<repo>/.repro_cache``) keyed by the experiment preset, so repeated
-harness runs are fast and deterministic.
+harness runs are fast and deterministic. Persistence goes through
+:mod:`repro.experiments.artifacts`: checkpoints are written atomically
+with integrity sidecars, and a corrupt or stale checkpoint is
+quarantined and retrained instead of crashing the harness.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -18,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.datasets import Dataset, make_digits, make_shapes
+from repro.experiments.artifacts import ArtifactStore, fingerprint
 from repro.nn import (
     LayerRanges,
     Network,
@@ -30,6 +35,7 @@ from repro.nn import (
 
 __all__ = [
     "cache_dir",
+    "get_store",
     "TrainedModel",
     "BenchmarkSpec",
     "DIGITS_SPEC",
@@ -40,6 +46,8 @@ __all__ = [
     "format_table",
 ]
 
+logger = logging.getLogger("repro.artifacts")
+
 
 def cache_dir() -> Path:
     """Cache directory for trained checkpoints and datasets."""
@@ -49,6 +57,15 @@ def cache_dir() -> Path:
     path = Path(root)
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def get_store() -> ArtifactStore:
+    """Artifact store over the current cache directory.
+
+    Constructed per call so tests that repoint ``REPRO_CACHE_DIR``
+    always get a store on the live location.
+    """
+    return ArtifactStore(cache_dir())
 
 
 @dataclass(frozen=True)
@@ -72,6 +89,10 @@ class BenchmarkSpec:
     def make_net(self) -> Network:
         builder = {"digits": build_mnist_net, "shapes": build_cifar_net}[self.dataset]
         return builder(seed=self.seed)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint used to version cached checkpoints."""
+        return fingerprint(self)
 
 
 #: Full presets, sized like the paper's protocol (scaled to CPU budget).
@@ -100,30 +121,59 @@ class TrainedModel:
 
 
 def _checkpoint_path(spec: BenchmarkSpec) -> Path:
-    return cache_dir() / f"{spec.name}.npz"
+    return get_store().checkpoint_path(spec.name)
+
+
+def _load_cached_state(
+    store: ArtifactStore, spec: BenchmarkSpec, net: Network
+) -> bool:
+    """Try to restore ``net`` from the store; quarantine on any defect."""
+    blob = store.load_checkpoint(
+        spec.name,
+        spec_fingerprint=spec.fingerprint(),
+        expected_params=len(net.params),
+    )
+    if blob is None:
+        return False
+    try:
+        net.load_state_dict([blob[f"p{i}"] for i in range(len(net.params))])
+    except (KeyError, ValueError) as exc:
+        store.quarantine(spec.name, reason=f"stale: state mismatch ({exc})")
+        return False
+    return True
 
 
 def get_trained_model(spec: BenchmarkSpec, force_retrain: bool = False) -> TrainedModel:
-    """Train (or load from cache) the float model of a benchmark spec."""
+    """Train (or load from cache) the float model of a benchmark spec.
+
+    Loads go through the artifact store: a corrupt, truncated, or
+    stale checkpoint is quarantined to ``*.corrupt`` with a warning and
+    the model is retrained — a bad cache never crashes a harness.
+    The train-and-save path holds a cross-process lock so concurrent
+    runs cannot torn-write the same checkpoint.
+    """
     ds = spec.make_dataset()
     net = spec.make_net()
-    path = _checkpoint_path(spec)
-    if path.exists() and not force_retrain:
-        blob = np.load(path)
-        state = [blob[f"p{i}"] for i in range(len(net.params))]
-        net.load_state_dict(state)
-    else:
-        trainer = Trainer(
-            net,
-            SgdConfig(
-                lr=spec.lr,
-                batch_size=spec.batch_size,
-                lr_decay=spec.lr_decay,
-                seed=spec.seed,
-            ),
-        )
-        trainer.train(ds.x_train, ds.y_train, epochs=spec.epochs)
-        np.savez(path, **{f"p{i}": p.value for i, p in enumerate(net.params)})
+    store = get_store()
+    with store.lock(spec.name):
+        loaded = not force_retrain and _load_cached_state(store, spec, net)
+        if not loaded:
+            logger.info("event=retrain key=%s epochs=%d", spec.name, spec.epochs)
+            trainer = Trainer(
+                net,
+                SgdConfig(
+                    lr=spec.lr,
+                    batch_size=spec.batch_size,
+                    lr_decay=spec.lr_decay,
+                    seed=spec.seed,
+                ),
+            )
+            trainer.train(ds.x_train, ds.y_train, epochs=spec.epochs)
+            store.save_checkpoint(
+                spec.name,
+                {f"p{i}": p.value for i, p in enumerate(net.params)},
+                spec_fingerprint=spec.fingerprint(),
+            )
     ranges = calibrate_conv_ranges(net, ds.x_train[: min(400, len(ds.x_train))])
     acc = net.accuracy(ds.x_test, ds.y_test)
     return TrainedModel(

@@ -14,7 +14,6 @@ paper's qualitative claims:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import ErrorStats, convergence_summary, error_statistics
 from repro.experiments.common import format_table
@@ -23,7 +22,8 @@ __all__ = ["run", "claims_check", "main"]
 
 
 def run(
-    precisions: tuple[int, ...] = (5, 10), methods: tuple[str, ...] = ("lfsr", "halton", "ed", "proposed")
+    precisions: tuple[int, ...] = (5, 10),
+    methods: tuple[str, ...] = ("lfsr", "halton", "ed", "proposed"),
 ) -> dict[int, dict[str, ErrorStats]]:
     """Error statistics for each precision and method."""
     return {n: error_statistics(n, methods) for n in precisions}

@@ -154,7 +154,8 @@ def result_tables(result: Fig6Result) -> str:
     """The two panels of one benchmark as text tables."""
     cfg = result.config
     blocks = [f"benchmark: {cfg.spec.dataset}  (float accuracy {result.float_accuracy:.4f})"]
-    for title, grid in (("without fine-tuning", result.no_finetune), ("with fine-tuning", result.finetuned)):
+    grids = (("without fine-tuning", result.no_finetune), ("with fine-tuning", result.finetuned))
+    for title, grid in grids:
         if not grid:
             continue
         columns = sorted(next(iter(grid.values())).keys())

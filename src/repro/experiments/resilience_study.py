@@ -42,7 +42,8 @@ def main(n_bits: int = 8) -> str:
         ],
     )
     out = (
-        f"Resilience study — transient upsets in the multiplier datapath (N={n_bits}, LSB units)\n"
+        f"Resilience study — transient upsets in the multiplier datapath "
+        f"(N={n_bits}, LSB units)\n"
         + table
         + "\n(the SC stream bounds every upset to 2 output LSBs, so its worst case"
         "\n grows slowly; a binary product-word upset can move the result by half"

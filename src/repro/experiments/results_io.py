@@ -4,6 +4,10 @@ Every harness returns plain data (dicts, dataclasses, numpy scalars);
 this module serializes those to versioned JSON artefacts so EXPERIMENTS
 reports can be regenerated without re-running expensive sweeps, and so
 CI can diff results across commits.
+
+Writes go through :mod:`repro.experiments.artifacts`: each artefact is
+written atomically with a SHA-256 sidecar, so a killed run can never
+leave a truncated result file under the final name.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Any
 import numpy as np
 
 import repro
+from repro.experiments.artifacts import ArtifactStore
 
 __all__ = ["to_jsonable", "save_result", "load_result"]
 
@@ -44,19 +49,16 @@ def save_result(name: str, payload: Any, out_dir: str | Path) -> Path:
     """Write one experiment's result as ``<out_dir>/<name>.json``.
 
     The envelope records the package version and a UTC timestamp so
-    artefacts are traceable to the code that produced them.
+    artefacts are traceable to the code that produced them. The write
+    is atomic and leaves a ``<name>.json.sha256`` integrity sidecar.
     """
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    path = out / f"{name}.json"
     envelope = {
         "experiment": name,
         "repro_version": repro.__version__,
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "result": to_jsonable(payload),
     }
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True))
-    return path
+    return ArtifactStore(out_dir).save_json(name, envelope)
 
 
 def load_result(path: str | Path) -> dict[str, Any]:

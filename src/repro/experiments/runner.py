@@ -32,7 +32,10 @@ __all__ = ["run_all", "main"]
 
 _EXPERIMENTS = (
     ("Table 1 (signed multiply example)", lambda quick: table1_signed.main()),
-    ("Fig. 5 (multiplier error statistics)", lambda quick: fig5_error.main((5,) if quick else (5, 10))),
+    (
+        "Fig. 5 (multiplier error statistics)",
+        lambda quick: fig5_error.main((5,) if quick else (5, 10)),
+    ),
     ("Fig. 6 (CNN recognition accuracy)", lambda quick: fig6_accuracy.main(quick=quick)),
     ("Fig. 7 (MAC array comparison)", lambda quick: fig7_mac_array.main()),
     ("Table 2 (area breakdown)", lambda quick: table2_area.main()),
@@ -67,7 +70,8 @@ def run_all(quick: bool = False, json_dir: str | None = None) -> dict[str, str]:
         print()
         if json_dir:
             slug = title.split("(")[0].strip().lower().replace(" ", "-").replace(".", "")
-            save_result(slug, {"title": title, "report": text, "seconds": time.time() - t0}, json_dir)
+            payload = {"title": title, "report": text, "seconds": time.time() - t0}
+            save_result(slug, payload, json_dir)
     return out
 
 

@@ -77,7 +77,11 @@ def main() -> str:
         rows.append(
             [entry["design"], entry["precision"]]
             + [f"{bd[c]:.1f}" for c in TABLE2_COLUMNS]
-            + [f"{bd['total']:.1f}", f"{entry['published_total']:.1f}", f"{100 * entry['relative_error']:+.1f}%"]
+            + [
+                f"{bd['total']:.1f}",
+                f"{entry['published_total']:.1f}",
+                f"{100 * entry['relative_error']:+.1f}%",
+            ]
         )
     table = format_table(
         ["design", "MP", *TABLE2_COLUMNS, "total", "paper", "err"], rows

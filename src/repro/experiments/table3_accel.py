@@ -40,7 +40,10 @@ def main(use_trained_weights: bool = True) -> str:
         for e in run(use_trained_weights)
     ]
     table = format_table(
-        ["accelerator", "kind", "MHz", "mm^2", "mW", "GOPS", "GOPS/mm^2", "GOPS/W", "tech", "scope"],
+        [
+            "accelerator", "kind", "MHz", "mm^2", "mW",
+            "GOPS", "GOPS/mm^2", "GOPS/W", "tech", "scope",
+        ],
         rows,
     )
     out = "Table 3 — comparison with previous neural-network accelerators\n" + table

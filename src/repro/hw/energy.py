@@ -19,7 +19,9 @@ from repro.hw.mac_designs import MacDesign, fixed_point_mac, lfsr_sc_mac, propos
 __all__ = ["avg_mac_cycles_from_weights", "Fig7Row", "compare_mac_arrays"]
 
 
-def avg_mac_cycles_from_weights(weights: np.ndarray, precision: int, bit_parallel: int = 1) -> float:
+def avg_mac_cycles_from_weights(
+    weights: np.ndarray, precision: int, bit_parallel: int = 1
+) -> float:
     """``E[ceil(|2^(N-1) w| / b)]`` over a float weight sample.
 
     This is the data-dependent per-MAC latency of the proposed design —

@@ -14,7 +14,6 @@ of small single-port SRAM macros); like the logic model they carry the
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.conv_mapping import AcceleratorConfig

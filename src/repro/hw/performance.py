@@ -150,8 +150,12 @@ def profile_network(
     lanes = config.tiling.lanes_per_mvm
     size = config.tiling.mac_count
     arrays = {
-        "binary": MacArray(fixed_point_mac(config.n_bits, config.acc_bits), size, lanes, config.clock_ghz),
-        "conv_sc": MacArray(lfsr_sc_mac(config.n_bits, config.acc_bits), size, lanes, config.clock_ghz),
+        "binary": MacArray(
+            fixed_point_mac(config.n_bits, config.acc_bits), size, lanes, config.clock_ghz
+        ),
+        "conv_sc": MacArray(
+            lfsr_sc_mac(config.n_bits, config.acc_bits), size, lanes, config.clock_ghz
+        ),
         "proposed": MacArray(
             proposed_mac(config.n_bits, config.acc_bits, config.bit_parallel),
             size,

@@ -34,7 +34,6 @@ import numpy as np
 
 from repro.core.mvm import sc_matmul
 from repro.sc.encoding import quantize_signed, to_offset_binary
-from repro.sc.lfsr import Lfsr
 from repro.sc.multipliers import lfsr_ud_table, select_low_bias_seeds
 
 __all__ = [

@@ -39,7 +39,9 @@ def build_mnist_net(seed: int = 0, c1: int = 8, c2: int = 16, fc: int = 64) -> N
     )
 
 
-def build_cifar_net(seed: int = 0, c1: int = 16, c2: int = 16, c3: int = 32, fc: int = 64) -> Network:
+def build_cifar_net(
+    seed: int = 0, c1: int = 16, c2: int = 16, c3: int = 32, fc: int = 64
+) -> Network:
     """``cifar10_quick``-style net for 32x32 RGB inputs.
 
     Caffe's quick net is conv-maxpool-relu, conv-relu-avgpool,

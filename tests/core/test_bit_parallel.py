@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core.bit_parallel import BitParallelMac, bit_parallel_latency, column_ones
 from repro.core.fsm_generator import stream_bits
 from repro.core.signed import bisc_multiply_signed
-from repro.sc.encoding import to_offset_binary
 
 
 class TestBitExactness:

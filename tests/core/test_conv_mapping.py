@@ -1,6 +1,5 @@
 """Tests for mapping convolution layers onto BISC-MVMs."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ subtle refactoring bugs no example-based test would.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

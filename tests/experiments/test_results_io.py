@@ -52,3 +52,16 @@ class TestSaveLoad:
     def test_creates_directory(self, tmp_path):
         path = save_result("t", {}, tmp_path / "deep" / "dir")
         assert path.exists()
+
+    def test_writes_integrity_sidecar(self, tmp_path):
+        import hashlib
+
+        path = save_result("t", {"x": 1}, tmp_path)
+        sidecar = path.with_name(path.name + ".sha256")
+        assert sidecar.exists()
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert sidecar.read_text().split()[0] == digest
+
+    def test_no_tmp_files_left(self, tmp_path):
+        save_result("t", {"x": 1}, tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))

@@ -3,7 +3,6 @@
 import json
 from unittest import mock
 
-import pytest
 
 from repro.experiments import runner
 from repro.experiments.results_io import load_result
@@ -25,7 +24,10 @@ class TestRegistry:
 
 class TestRunAll:
     def test_collects_outputs_and_saves_json(self, tmp_path, capsys):
-        fake = (("Exp A (x)", lambda quick: print("alpha")), ("Exp B (y)", lambda quick: print("beta")))
+        fake = (
+            ("Exp A (x)", lambda quick: print("alpha")),
+            ("Exp B (y)", lambda quick: print("beta")),
+        )
         with mock.patch.object(runner, "_EXPERIMENTS", fake):
             out = runner.run_all(json_dir=str(tmp_path))
         assert out == {"Exp A (x)": "alpha", "Exp B (y)": "beta"}

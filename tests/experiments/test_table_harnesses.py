@@ -1,6 +1,5 @@
 """Tests for the lightweight experiment harnesses (Tables 1-3, Fig. 5)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig5_error, table1_signed, table2_area, table3_accel

@@ -14,12 +14,16 @@ from repro.hw.mac_designs import (
 
 
 class TestCalibration:
-    @pytest.mark.parametrize("design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}")
+    @pytest.mark.parametrize(
+        "design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}"
+    )
     def test_total_within_20pct_of_published(self, design):
         published = PUBLISHED_TOTALS[(design.name, design.precision)]
         assert design.total_area_um2 == pytest.approx(published, rel=0.20)
 
-    @pytest.mark.parametrize("design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}")
+    @pytest.mark.parametrize(
+        "design", all_table2_designs(), ids=lambda d: f"{d.name}-mp{d.precision}"
+    )
     def test_major_columns_within_35pct(self, design):
         """Per-column breakdown tracks the published one for big columns."""
         published = PUBLISHED_BREAKDOWNS[(design.name, design.precision)]

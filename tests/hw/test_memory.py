@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.conv_mapping import AcceleratorConfig, TilingConfig
 from repro.hw.memory import (
-    BufferSet,
     SramMacro,
     accelerator_totals,
     buffer_set_for,

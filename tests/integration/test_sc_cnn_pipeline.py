@@ -5,7 +5,6 @@ tests exercise the full dataset -> training -> calibration -> engine ->
 evaluation pipeline exactly as the Fig. 6 harness does.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import DIGITS_QUICK_SPEC, get_trained_model

@@ -1,6 +1,5 @@
 """Tests for range calibration and engine wiring."""
 
-import numpy as np
 import pytest
 
 from repro.nn import (

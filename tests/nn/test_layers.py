@@ -49,7 +49,9 @@ class TestConv2D:
         conv.zero_grad()
         conv.forward(x)
         conv.backward(gy)
-        loss = lambda: float((conv.forward(x) * gy).sum())
+        def loss():
+            return float((conv.forward(x) * gy).sum())
+
         assert np.abs(conv.weight.grad - numerical_grad(loss, conv.weight.value)).max() < 1e-6
         assert np.abs(conv.bias.grad - numerical_grad(loss, conv.bias.value)).max() < 1e-6
 
@@ -91,7 +93,9 @@ class TestDense:
         dense.zero_grad()
         dense.forward(x)
         gx = dense.backward(gy)
-        loss = lambda: float((dense.forward(x) * gy).sum())
+        def loss():
+            return float((dense.forward(x) * gy).sum())
+
         assert np.abs(gx - numerical_grad(loss, x)).max() < 1e-6
         assert np.abs(dense.weight.grad - numerical_grad(loss, dense.weight.value)).max() < 1e-6
         assert np.abs(dense.bias.grad - numerical_grad(loss, dense.bias.value)).max() < 1e-6

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sc.bitstream import prefix_ones, sc_correlation, sn_value, stream_from_probability
-from repro.sc.encoding import BIPOLAR, UNIPOLAR
+from repro.sc.encoding import BIPOLAR
 
 
 class TestSnValue:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sc.bitstream import stream_from_probability
 from repro.sc.lfsr import Lfsr
 from repro.sc.multipliers import (
     ConventionalScMac,

@@ -42,3 +42,39 @@ class TestCommands:
     def test_experiment_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "proposed-serial" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _tmp_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self.root = tmp_path
+
+    def test_ls_empty(self, capsys):
+        assert main(["cache", "ls"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_verify_flags_corrupt_seed_style_file(self, capsys):
+        (self.root / "digits-quick.npz").write_bytes(b"not a zip")
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "digits-quick.npz" in out
+
+    def test_verify_ok_store(self, capsys):
+        import numpy as np
+
+        from repro.experiments import get_store
+
+        get_store().save_checkpoint("k", {"p0": np.zeros(2)}, spec_fingerprint="fp")
+        assert main(["cache", "verify"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_clear(self, capsys):
+        (self.root / "digits-quick.npz").write_bytes(b"junk")
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not (self.root / "digits-quick.npz").exists()
