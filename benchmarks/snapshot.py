@@ -1,0 +1,253 @@
+"""Stepped-vs-vectorized kernel timing snapshot.
+
+Times the per-cycle reference simulators against the vectorized kernels
+of :mod:`repro.core.kernels` on fixed workloads and writes the speedup
+table to ``BENCH_PR2.json`` at the repo root.  Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/snapshot.py [--repeats 5] [--out BENCH_PR2.json]
+
+The JSON also carries the tier-1 wall-clock numbers (measured with
+``pytest --durations`` before/after the kernel rewrite) so the speedup
+claim in the PR is pinned to data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bit_parallel import BitParallelMac
+from repro.core.energy_quality import truncated_multiply
+from repro.core.kernels import truncated_matmul_kernel
+from repro.core.multiplier import BiscMultiplierUnsigned
+from repro.core.mvm import BiscMvm
+from repro.sc.multipliers import ConventionalScMac
+from repro.sc.sng import LfsrSource
+
+#: Tier-1 wall-clock before/after the vectorized kernels (seconds,
+#: ``pytest -x -q`` on the development container; the dominant tests
+#: were the CNN energy-quality harness at 165.2s and the truncated-
+#: engine level curve at 58.9s).
+TIER1_BASELINE_S = 287.0
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_unsigned_mac(repeats: int) -> dict:
+    n_bits = 8
+    rng = np.random.default_rng(0)
+    ops = [
+        (int(w), int(x))
+        for w, x in zip(
+            rng.integers(0, (1 << n_bits) + 1, size=400),
+            rng.integers(0, 1 << n_bits, size=400),
+        )
+    ]
+
+    def stepped():
+        m = BiscMultiplierUnsigned(n_bits)
+        for w, x in ops:
+            m.mac_stepped(w, x)
+        return m.counter
+
+    def vectorized():
+        m = BiscMultiplierUnsigned(n_bits)
+        for w, x in ops:
+            m.mac(w, x)
+        return m.counter
+
+    assert stepped() == vectorized()
+    return {
+        "workload": f"400 random unsigned SC-MACs, N={n_bits}",
+        "stepped_s": _time(stepped, repeats),
+        "vectorized_s": _time(vectorized, repeats),
+    }
+
+
+def bench_mvm_mac(repeats: int) -> dict:
+    n_bits, p = 8, 64
+    rng = np.random.default_rng(1)
+    half = 1 << (n_bits - 1)
+    ws = rng.integers(-half, half, size=24)
+    xs = rng.integers(-half, half, size=(24, p))
+
+    def stepped():
+        mvm = BiscMvm(n_bits, p, acc_bits=2)
+        for w, x in zip(ws, xs):
+            mvm.mac_stepped(int(w), x)
+        return mvm.read()
+
+    def vectorized():
+        mvm = BiscMvm(n_bits, p, acc_bits=2)
+        for w, x in zip(ws, xs):
+            mvm.mac(int(w), x)
+        return mvm.read()
+
+    assert np.array_equal(stepped(), vectorized())
+    return {
+        "workload": f"24 MACs x {p} lanes, N={n_bits}, acc_bits=2",
+        "stepped_s": _time(stepped, repeats),
+        "vectorized_s": _time(vectorized, repeats),
+    }
+
+
+def bench_bit_parallel(repeats: int) -> dict:
+    n_bits, b = 8, 4
+    rng = np.random.default_rng(2)
+    half = 1 << (n_bits - 1)
+    ops = [
+        (int(w), int(x))
+        for w, x in zip(
+            rng.integers(-half, half, size=400), rng.integers(-half, half, size=400)
+        )
+    ]
+
+    def stepped():
+        m = BitParallelMac(n_bits, b)
+        for w, x in ops:
+            m.mac_stepped(w, x)
+        return m.counter
+
+    def vectorized():
+        m = BitParallelMac(n_bits, b)
+        for w, x in ops:
+            m.mac(w, x)
+        return m.counter
+
+    assert stepped() == vectorized()
+    return {
+        "workload": f"400 random signed MACs, N={n_bits}, b={b}",
+        "stepped_s": _time(stepped, repeats),
+        "vectorized_s": _time(vectorized, repeats),
+    }
+
+
+def bench_conventional_mac(repeats: int) -> dict:
+    n_bits = 8
+    rng = np.random.default_rng(3)
+    half = 1 << (n_bits - 1)
+    ops = [
+        (int(w), int(x))
+        for w, x in zip(
+            rng.integers(-half, half, size=40), rng.integers(-half, half, size=40)
+        )
+    ]
+
+    def make():
+        return ConventionalScMac(
+            n_bits, LfsrSource(n_bits), LfsrSource(n_bits, alternate=True), acc_bits=2
+        )
+
+    def stepped():
+        m = make()
+        for w, x in ops:
+            m.mac_stepped(w, x)
+        return m.counter.value
+
+    def vectorized():
+        m = make()
+        for w, x in ops:
+            m.mac(w, x)
+        return m.counter.value
+
+    assert stepped() == vectorized()
+    return {
+        "workload": f"40 conventional SC MACs, 2**{n_bits} cycles each",
+        "stepped_s": _time(stepped, repeats),
+        "vectorized_s": _time(vectorized, repeats),
+    }
+
+
+def bench_truncated_matmul(repeats: int) -> dict:
+    n_bits, budget = 8, 16
+    rng = np.random.default_rng(4)
+    half = 1 << (n_bits - 1)
+    w = rng.integers(-half, half, size=(32, 288))
+    x = rng.integers(-half, half, size=(288, 256))
+
+    def broadcast():
+        return truncated_multiply(w[:, :, None], x[None, :, :], n_bits, budget, True).sum(axis=1)
+
+    def kernel():
+        return truncated_matmul_kernel(w, x, n_bits, budget, True)
+
+    assert np.allclose(broadcast(), kernel())
+    return {
+        "workload": "truncated matmul (32x288)@(288x256), N=8, budget=16",
+        "stepped_s": _time(broadcast, repeats),
+        "vectorized_s": _time(kernel, repeats),
+    }
+
+
+BENCHES = {
+    "unsigned_mac": bench_unsigned_mac,
+    "mvm_mac": bench_mvm_mac,
+    "bit_parallel_mac": bench_bit_parallel,
+    "conventional_sc_mac": bench_conventional_mac,
+    "truncated_matmul": bench_truncated_matmul,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--tier1-seconds", type=float, default=None,
+                        help="measured tier-1 wall-clock to record (seconds)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = {}
+    for name, fn in BENCHES.items():
+        entry = fn(args.repeats)
+        entry["speedup"] = round(entry["stepped_s"] / max(entry["vectorized_s"], 1e-12), 2)
+        entry["stepped_s"] = round(entry["stepped_s"], 6)
+        entry["vectorized_s"] = round(entry["vectorized_s"], 6)
+        kernels[name] = entry
+        print(f"{name:22s} {entry['stepped_s']:>10.4f}s -> {entry['vectorized_s']:>10.4f}s "
+              f"({entry['speedup']}x)  [{entry['workload']}]")
+
+    report = {
+        "schema": "bench-pr2/v1",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "kernels": kernels,
+        "tier1_wall_clock": {
+            "baseline_s": TIER1_BASELINE_S,
+            "vectorized_s": args.tier1_seconds,
+            "speedup": (
+                round(TIER1_BASELINE_S / args.tier1_seconds, 2)
+                if args.tier1_seconds
+                else None
+            ),
+            "note": (
+                "pytest -x -q wall-clock; baseline measured before the "
+                "kernel rewrite on the same container"
+            ),
+        },
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,10 @@ Modules
     Bit-parallel processing with the ones counter (Section 2.5).
 ``accumulator``
     Saturating accumulators shared by all engines.
+``kernels``
+    Vectorized cycle kernels: whole FSM+MUX schedules, stream matrices
+    and saturating walks as array ops, bit-exact with the stepped
+    simulators (enforced by ``tests/core/test_kernel_parity.py``).
 ``mvm``
     BISC-MVM, the vectorized SC-MAC array (Section 3.1), plus the fast
     numpy matrix-multiply engine used by the CNN experiments.
@@ -40,6 +44,13 @@ from repro.core.signed import (
 )
 from repro.core.bit_parallel import BitParallelMac, bit_parallel_latency
 from repro.core.accumulator import SaturatingAccumulatorArray
+from repro.core.kernels import (
+    mvm_mac_kernel,
+    saturating_walk,
+    select_schedule,
+    stream_matrix,
+    truncated_matmul_kernel,
+)
 from repro.core.mvm import BiscMvm, sc_matmul, sc_matmul_reference
 from repro.core.conv_mapping import (
     AcceleratorConfig,
@@ -72,6 +83,11 @@ __all__ = [
     "BitParallelMac",
     "bit_parallel_latency",
     "SaturatingAccumulatorArray",
+    "select_schedule",
+    "stream_matrix",
+    "saturating_walk",
+    "mvm_mac_kernel",
+    "truncated_matmul_kernel",
     "BiscMvm",
     "sc_matmul",
     "sc_matmul_reference",

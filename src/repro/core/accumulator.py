@@ -3,21 +3,58 @@
 The paper gives every SC-MAC lane a saturating up/down counter of
 ``N + A`` bits (``A`` accumulation-headroom bits; experiments use
 ``A = 2``).  This module provides a vectorized array of such counters —
-one per MVM lane — in output-LSB units.
+one per MVM lane — in output-LSB units, plus the shared validation
+helpers that keep :class:`SaturatingAccumulatorArray`,
+:class:`repro.core.mvm.BiscMvm` and :func:`repro.core.mvm.sc_matmul`
+reporting identical bounds in their error messages.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.sc.counters import SaturatingUpDownCounter, saturating_accumulate, saturating_add
+from repro.sc.counters import (
+    SaturatingUpDownCounter,
+    saturating_accumulate,
+    saturating_add,
+    saturating_walk,
+)
 
 __all__ = [
     "SaturatingAccumulatorArray",
     "SaturatingUpDownCounter",
     "saturating_accumulate",
     "saturating_add",
+    "saturating_walk",
+    "check_acc_bits",
+    "check_lane_vector",
 ]
+
+
+def check_acc_bits(n_bits: int, acc_bits: int) -> int:
+    """Validate the ``N + A`` accumulator width; return it.
+
+    Single source of the width rule so every engine raises the same
+    message: ``n_bits`` must be >= 1 and ``acc_bits`` (the headroom
+    ``A``) must be >= 0.
+    """
+    if n_bits < 1:
+        raise ValueError(f"n_bits must be >= 1, got {n_bits}")
+    if acc_bits < 0:
+        raise ValueError(f"acc_bits must be >= 0, got {acc_bits}")
+    return n_bits + acc_bits
+
+
+def check_lane_vector(values, p: int, name: str = "x_vec") -> np.ndarray:
+    """Validate a per-lane vector; return it as int64 of shape ``(p,)``.
+
+    All lane-shaped inputs across the MVM stack go through this helper
+    so a shape mistake produces one consistent diagnostic.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.shape != (p,):
+        raise ValueError(f"{name} must have shape ({p},), got {arr.shape}")
+    return arr
 
 
 class SaturatingAccumulatorArray:
@@ -31,7 +68,7 @@ class SaturatingAccumulatorArray:
         if p < 1:
             raise ValueError("p must be >= 1")
         self.p = p
-        self.width = n_bits + acc_bits
+        self.width = check_acc_bits(n_bits, acc_bits)
         self.lo = -(1 << (self.width - 1))
         self.hi = (1 << (self.width - 1)) - 1
         self.values = np.zeros(p, dtype=np.int64)
@@ -46,14 +83,25 @@ class SaturatingAccumulatorArray:
         ``direction_up`` can flip individual lanes (unused by the MVM,
         where the shared sign XOR is applied to the bits beforehand).
         """
-        bits = np.asarray(bits, dtype=np.int64)
-        if bits.shape != (self.p,):
-            raise ValueError(f"expected {self.p} lane bits, got shape {bits.shape}")
+        bits = check_lane_vector(bits, self.p, "bits")
         delta = 2 * bits - 1
         direction = np.asarray(direction_up, dtype=np.int64)
         if direction.ndim or int(direction) != 1:
             delta = delta * (2 * direction - 1)
         self.values = np.clip(self.values + delta, self.lo, self.hi)
+        return self.values
+
+    def run(self, bits: np.ndarray) -> np.ndarray:
+        """Clock a whole ``(p, T)`` bit block, one column per cycle.
+
+        Equivalent to ``T`` calls of :meth:`step` but computed as one
+        saturating walk per lane (bit-exact, including mid-block
+        saturation).
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 2 or bits.shape[0] != self.p:
+            raise ValueError(f"bits must have shape ({self.p}, T), got {bits.shape}")
+        self.values = saturating_walk(self.values, 2 * bits - 1, self.lo, self.hi)
         return self.values
 
     def add(self, delta: np.ndarray) -> np.ndarray:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fsm_generator import prefix_ones
+from repro.core.kernels import bit_parallel_mac_kernel
 from repro.sc.encoding import signed_range, to_offset_binary
 
 __all__ = ["BitParallelMac", "bit_parallel_latency", "column_ones"]
@@ -74,11 +75,28 @@ class BitParallelMac:
         self.counter = 0
         self.cycles = 0
 
-    def mac(self, w_int: int, x_int: int) -> int:
-        """Accumulate one signed product; costs ``ceil(|w|/b)`` cycles."""
+    def _check_operands(self, w_int: int, x_int: int) -> None:
         lo, hi = signed_range(self.n_bits)
         if not (lo <= w_int <= hi and lo <= x_int <= hi):
             raise ValueError(f"operands out of {self.n_bits}-bit signed range")
+
+    def mac(self, w_int: int, x_int: int) -> int:
+        """Accumulate one signed product; costs ``ceil(|w|/b)`` cycles.
+
+        The per-column ones counts telescope (the counter does not
+        saturate), so the whole multiply is one closed-form kernel
+        evaluation; bit-exact with :meth:`mac_stepped`.
+        """
+        self._check_operands(w_int, x_int)
+        x_offset = to_offset_binary(x_int, self.n_bits)
+        delta, cols = bit_parallel_mac_kernel(w_int, x_offset, self.n_bits, self.b)
+        self.counter += delta
+        self.cycles += cols
+        return self.counter
+
+    def mac_stepped(self, w_int: int, x_int: int) -> int:
+        """Reference one-column-per-iteration path (differential tests)."""
+        self._check_operands(w_int, x_int)
         x_offset = to_offset_binary(x_int, self.n_bits)
         sign = -1 if w_int < 0 else 1
         remaining = abs(w_int)  # the (shared) down counter, decremented by b

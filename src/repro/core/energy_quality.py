@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fsm_generator import prefix_ones
+from repro.core.kernels import truncated_matmul_kernel
 from repro.sc.encoding import signed_range, to_offset_binary
 
 __all__ = [
@@ -70,13 +71,16 @@ def truncated_matmul(
     cycle_budget: int,
     rescale: bool = True,
 ) -> np.ndarray:
-    """Matrix product under a per-multiply cycle budget (vectorized)."""
-    w = np.asarray(w_int, dtype=np.int64)
-    x = np.asarray(x_int, dtype=np.int64)
-    if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
-        raise ValueError(f"shape mismatch: {w.shape} @ {x.shape}")
-    prods = truncated_multiply(w[:, :, None], x[None, :, :], n_bits, cycle_budget, rescale)
-    return prods.sum(axis=1)
+    """Matrix product under a per-multiply cycle budget (vectorized).
+
+    Delegates to :func:`repro.core.kernels.truncated_matmul_kernel`,
+    which folds the per-term sign/rescale factors into the
+    appearance-count coefficients so the whole product is one matmul —
+    the ``(M, D, P, N)`` broadcast of :func:`truncated_multiply` never
+    materializes.  Exact for ``rescale=False``; float64 round-off level
+    agreement otherwise (summation order differs).
+    """
+    return truncated_matmul_kernel(w_int, x_int, n_bits, cycle_budget, rescale)
 
 
 def magnitude_cap_weights(w_int, n_bits: int, cycle_budget: int):

@@ -154,6 +154,18 @@ class FsmMuxGenerator:
         """Restart the pattern (done when a new weight is loaded)."""
         self._cycle = 1
 
+    def advance(self, cycles: int) -> None:
+        """Jump the FSM forward ``cycles`` clocks without emitting bits.
+
+        Leaves the register exactly where ``cycles`` calls of
+        :meth:`step_select` would — the state update of the vectorized
+        kernels, which compute the emitted bits separately as a batch.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        period = 1 << self.n_bits
+        self._cycle = (self._cycle - 1 + cycles) % period + 1
+
     def step_select(self) -> int:
         """Advance one clock; return the mux select (-1 for none)."""
         sel = select_index(self._cycle, self.n_bits)

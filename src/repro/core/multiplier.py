@@ -64,13 +64,32 @@ class BiscMultiplierUnsigned:
         self.counter = 0
         self.cycles = 0
 
-    def mac(self, w: int, x: int) -> int:
-        """Accumulate ``w * x / 2**N``; costs ``w`` cycles."""
+    def _check_operands(self, w: int, x: int) -> None:
         if not 0 <= w <= (1 << self.n_bits):
             raise ValueError(f"w out of [0, 2**{self.n_bits}]")
         if not 0 <= x < (1 << self.n_bits):
             raise ValueError(f"x out of [0, 2**{self.n_bits})")
+
+    def mac(self, w: int, x: int) -> int:
+        """Accumulate ``w * x / 2**N``; costs ``w`` cycles.
+
+        Vectorized: the ``w`` stream bits are the closed-form prefix sum
+        ``P_w(x)`` (the up counter has no saturation), and the FSM
+        register is jumped to where the stepped loop would leave it.
+        Bit-exact with :meth:`mac_stepped`, which
+        ``tests/core/test_kernel_parity.py`` enforces.
+        """
+        self._check_operands(w, x)
         self._fsm.reset()  # pattern restarts with each loaded weight
+        self.counter += int(prefix_ones(x, w, self.n_bits))
+        self._fsm.advance(w)
+        self.cycles += w
+        return self.counter
+
+    def mac_stepped(self, w: int, x: int) -> int:
+        """Reference one-clock-per-iteration path (differential tests)."""
+        self._check_operands(w, x)
+        self._fsm.reset()
         remaining = w  # the down counter
         while remaining > 0:
             self.counter += self._fsm.step(x)

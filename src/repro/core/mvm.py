@@ -22,8 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.accumulator import SaturatingAccumulatorArray
+from repro.core.accumulator import (
+    SaturatingAccumulatorArray,
+    check_acc_bits,
+    check_lane_vector,
+)
 from repro.core.fsm_generator import FsmMuxGenerator, coefficient_vector
+from repro.core.kernels import mvm_mac_kernel
 from repro.core.signed import bisc_multiply_signed
 from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
 
@@ -57,19 +62,38 @@ class BiscMvm:
         """Lane accumulator values, in output-LSB units."""
         return self._acc.values.copy()
 
+    def _check_mac_operands(self, w_int: int, x_vec) -> np.ndarray:
+        lo, hi = signed_range(self.n_bits)
+        if not lo <= w_int <= hi:
+            raise ValueError(f"w_int out of {self.n_bits}-bit signed range [{lo}, {hi}]")
+        return check_lane_vector(x_vec, self.p, "x_vec")
+
     def mac(self, w_int: int, x_vec) -> None:
         """Accumulate ``w * x_vec`` across all lanes; ``|w|`` cycles.
 
         The FSM restarts with each loaded weight (required for the
         partial-sum property); the shared down counter is modelled by
-        the loop bound.
+        the block length.  The whole call is one vectorized kernel
+        (:func:`repro.core.kernels.mvm_mac_kernel`) — bit-exact with
+        :meth:`mac_stepped` including per-cycle lane saturation.
         """
-        lo, hi = signed_range(self.n_bits)
-        if not lo <= w_int <= hi:
-            raise ValueError(f"w_int out of {self.n_bits}-bit signed range")
-        x_vec = np.asarray(x_vec, dtype=np.int64)
-        if x_vec.shape != (self.p,):
-            raise ValueError(f"expected {self.p} lane values, got shape {x_vec.shape}")
+        x_vec = self._check_mac_operands(w_int, x_vec)
+        offsets = to_offset_binary(x_vec, self.n_bits)
+        self._acc.values = mvm_mac_kernel(
+            self._acc.values,
+            w_int,
+            offsets,
+            self.n_bits,
+            self._acc.lo,
+            self._acc.hi,
+            start_cycle=self._fsm.cycle,
+        )
+        self.cycles += abs(w_int)
+        self._fsm.reset()
+
+    def mac_stepped(self, w_int: int, x_vec) -> None:
+        """Reference one-clock-per-iteration path (differential tests)."""
+        x_vec = self._check_mac_operands(w_int, x_vec)
         offsets = to_offset_binary(x_vec, self.n_bits)
         sign_w = 1 if w_int < 0 else 0
         for _ in range(abs(w_int)):  # the shared down counter
@@ -87,8 +111,10 @@ class BiscMvm:
         """
         w_row = np.asarray(w_row, dtype=np.int64)
         x_mat = np.asarray(x_mat, dtype=np.int64)
-        if x_mat.shape != (w_row.size, self.p):
-            raise ValueError("x_mat must be (len(w_row), p)")
+        if x_mat.ndim != 2 or x_mat.shape != (w_row.size, self.p):
+            raise ValueError(
+                f"x_mat must have shape ({w_row.size}, {self.p}), got {x_mat.shape}"
+            )
         self.reset()
         for w, x_vec in zip(w_row, x_mat):
             self.mac(int(w), x_vec)
@@ -158,7 +184,7 @@ def sc_matmul(
     bits = bits_msb_first(to_offset_binary(x, n_bits), n_bits)  # (D, P, N)
     bits_t = np.ascontiguousarray(np.moveaxis(bits, -1, 1)).astype(np.float64)  # (D, N, P)
 
-    width = n_bits + acc_bits
+    width = check_acc_bits(n_bits, acc_bits)
     clip_lo, clip_hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
 
     if saturate == "term":

@@ -236,10 +236,10 @@ class TruncatedScEngine(MatmulEngine):
         self.name = f"truncated-sc-{cycle_budget}"
 
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
-        from repro.core.energy_quality import truncated_matmul
+        from repro.core.kernels import truncated_matmul_kernel
 
         w_int, x_int = self._quantize(w, x)
-        acc = truncated_matmul(w_int, x_int, self.n_bits, self.cycle_budget, self.rescale)
+        acc = truncated_matmul_kernel(w_int, x_int, self.n_bits, self.cycle_budget, self.rescale)
         width = self.n_bits + self.acc_bits
         acc = np.clip(acc, -(1 << (width - 1)), (1 << (width - 1)) - 1)
         return self._dequantize(acc)

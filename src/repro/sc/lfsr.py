@@ -17,6 +17,20 @@ import numpy as np
 
 __all__ = ["MAXIMAL_TAPS", "Lfsr"]
 
+#: Cached state orbits, keyed by ``(n_bits, taps)``.  An orbit is a
+#: cyclic state sequence; caching it (plus each state's phase on it)
+#: turns every :meth:`Lfsr.sequence` call into an array gather instead
+#: of a per-cycle Python loop.  Orbits are only cached for widths where
+#: the table stays small, and only when the walk provably closes on the
+#: seed (always true for the maximal polynomials shipped here).
+_ORBIT_CACHE: dict[
+    tuple[int, tuple[int, ...]],
+    dict[int, tuple[np.ndarray, int] | None],
+] = {}
+
+#: Widest register for which orbits are cached (2**16 ints = 0.5 MB).
+_ORBIT_CACHE_MAX_BITS = 16
+
 #: Maximal-length feedback taps (1-indexed bit positions, x^n + ... + 1)
 #: for Fibonacci LFSRs, from the standard Xilinx/wikipedia tables.
 MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
@@ -137,17 +151,57 @@ class Lfsr:
         self._state = ((self._state << 1) | fb) & ((1 << self.n_bits) - 1)
         return self._state
 
+    def _orbit(self) -> tuple[np.ndarray, int] | None:
+        """The cached cyclic state sequence through ``self._state``.
+
+        Returns ``(orbit, phase)`` — the full cycle as an array and the
+        current state's offset on it — computed once per ``(n_bits,
+        taps)`` orbit by stepping a scratch register until it returns to
+        the start state.  ``None`` (also cached) when the width is too
+        large to table or the chosen taps do not close a cycle within
+        ``2**n`` steps.
+        """
+        if self.n_bits > _ORBIT_CACHE_MAX_BITS:
+            return None
+        phases = _ORBIT_CACHE.setdefault((self.n_bits, self.taps), {})
+        if self._state not in phases:
+            scratch = Lfsr(self.n_bits, seed=self._state, taps=self.taps)
+            limit = 1 << self.n_bits
+            states = [self._state]
+            for _ in range(limit):
+                nxt = scratch.step()
+                if nxt == self._state:
+                    break
+                states.append(nxt)
+            else:
+                phases[self._state] = None  # no cycle through this state
+                return None
+            orbit = np.array(states, dtype=np.int64)
+            for i, s in enumerate(states):
+                phases[int(s)] = (orbit, i)
+        return phases[self._state]
+
     def sequence(self, length: int) -> np.ndarray:
         """Return the next ``length`` states (advances the register).
 
         The register state *before* stepping is emitted first, matching
         hardware where the comparator sees the current register value
-        each cycle.
+        each cycle.  Served from a cached full-period orbit as an array
+        gather when possible (bit-exact with stepping); falls back to
+        the per-cycle loop otherwise.
         """
-        out = np.empty(length, dtype=np.int64)
-        for i in range(length):
-            out[i] = self._state
-            self.step()
+        cached = self._orbit()
+        if cached is None:
+            out = np.empty(length, dtype=np.int64)
+            for i in range(length):
+                out[i] = self._state
+                self.step()
+            return out
+        orbit, phase = cached
+        period = orbit.size
+        idx = (phase + np.arange(length, dtype=np.int64)) % period
+        out = orbit[idx]
+        self._state = int(orbit[(phase + length) % period])
         return out
 
     def full_period_sequence(self) -> np.ndarray:

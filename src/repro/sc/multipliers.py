@@ -257,16 +257,31 @@ class ConventionalScMac:
         self.source_x.reset()
         self.cycles = 0
 
-    def mac(self, w_int: int, x_int: int) -> None:
-        """Accumulate one product; costs ``2**n_bits`` cycles."""
+    def _product_stream(self, w_int: int, x_int: int) -> np.ndarray:
         length = 1 << self.n_bits
         w_off = to_offset_binary(w_int, self.n_bits)
         x_off = to_offset_binary(x_int, self.n_bits)
         sw = (self.source_w.sequence(length) < w_off).astype(np.int64)
         sx = (self.source_x.sequence(length) < x_off).astype(np.int64)
-        for bit in bipolar_xnor_stream(sw, sx):
+        return bipolar_xnor_stream(sw, sx)
+
+    def mac(self, w_int: int, x_int: int) -> None:
+        """Accumulate one product; costs ``2**n_bits`` cycles.
+
+        The whole ``2**n``-cycle window is one vectorized saturating
+        walk through the up/down counter — bit-exact with clocking
+        :meth:`mac_stepped` (per-cycle saturation included).
+        """
+        stream = self._product_stream(w_int, x_int)
+        self.counter.run(stream)
+        self.cycles += stream.size
+
+    def mac_stepped(self, w_int: int, x_int: int) -> None:
+        """Reference one-clock-per-iteration path (differential tests)."""
+        stream = self._product_stream(w_int, x_int)
+        for bit in stream:
             self.counter.step(int(bit))
-        self.cycles += length
+        self.cycles += stream.size
 
     @property
     def result_int(self) -> float:

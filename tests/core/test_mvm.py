@@ -102,6 +102,51 @@ class TestBiscMvm:
             mvm.mac(8, [0, 0])
 
 
+class TestValidationConsistency:
+    """One diagnostic per mistake, identical across the MVM stack.
+
+    ``BiscMvm``, ``SaturatingAccumulatorArray`` and ``sc_matmul`` all
+    route their parameter checks through the shared helpers in
+    :mod:`repro.core.accumulator`; these tests pin the exact messages so
+    the three entry points cannot drift apart again.
+    """
+
+    def test_bad_acc_bits_same_message_everywhere(self):
+        from repro.core.accumulator import SaturatingAccumulatorArray
+
+        expected = "acc_bits must be >= 0, got -1"
+        with pytest.raises(ValueError, match=expected):
+            BiscMvm(4, 2, acc_bits=-1)
+        with pytest.raises(ValueError, match=expected):
+            SaturatingAccumulatorArray(2, 4, acc_bits=-1)
+        with pytest.raises(ValueError, match=expected):
+            sc_matmul(np.zeros((1, 1)), np.zeros((1, 1)), 4, acc_bits=-1)
+
+    def test_bad_n_bits_same_message_everywhere(self):
+        from repro.core.accumulator import SaturatingAccumulatorArray
+
+        expected = "n_bits must be >= 1, got 0"
+        with pytest.raises(ValueError, match=expected):
+            SaturatingAccumulatorArray(2, 0)
+        with pytest.raises(ValueError, match=expected):
+            sc_matmul(np.zeros((1, 1)), np.zeros((1, 1)), 0)
+
+    def test_lane_shape_message_names_offender(self):
+        from repro.core.accumulator import SaturatingAccumulatorArray
+
+        mvm = BiscMvm(4, 3)
+        with pytest.raises(ValueError, match=r"x_vec must have shape \(3,\), got \(2,\)"):
+            mvm.mac(1, [0, 0])
+        acc = SaturatingAccumulatorArray(3, 4)
+        with pytest.raises(ValueError, match=r"bits must have shape \(3,\), got \(4,\)"):
+            acc.step(np.zeros(4, dtype=np.int64))
+
+    def test_weight_range_message_states_bounds(self):
+        mvm = BiscMvm(4, 1)
+        with pytest.raises(ValueError, match=r"w_int out of 4-bit signed range \[-8, 7\]"):
+            mvm.mac(8, [0])
+
+
 class TestMvmCycles:
     def test_sum_of_magnitudes(self):
         assert mvm_cycles([-8, 3, 0, 7], 4) == 18

@@ -22,6 +22,7 @@ class TestEnergyQualityHarness:
     def test_quality_improves_overall(self, rows):
         assert rows[-1]["rms_error"] < rows[0]["rms_error"] / 3
 
+    @pytest.mark.slow
     def test_main_renders(self):
         assert "cycle budget" in ablation_energy_quality.main()
 
@@ -43,6 +44,7 @@ class TestNetworkPerformanceHarness:
         assert profile.speedup_vs_conv_sc > 2
         assert len(profile.layers) == 2
 
+    @pytest.mark.slow
     def test_main_renders(self):
         out = network_performance.main()
         assert "speedup vs conv-SC" in out

@@ -28,6 +28,7 @@ class TestFig7WithTrainedWeights:
         assert e.area_mm2 < 0.2
 
 
+@pytest.mark.slow
 class TestAccumulatorAblation:
     @pytest.fixture(scope="class")
     def grid(self):

@@ -82,6 +82,7 @@ class TestSection4Claims:
         assert std["proposed"] < std["halton"] < std["lfsr"] < 0.1
         assert std["ed"] > std["halton"]
 
+    @pytest.mark.slow
     def test_fig6_proposed_matches_fixed_point(self):
         """§4.2: 'our SC-CNN achieves almost the same accuracy as the
         fixed-point binary' (easy benchmark, same precision)."""

@@ -21,6 +21,7 @@ class TestAccuracyOrdering:
     def test_float_baseline_strong(self, digits_model):
         assert digits_model.float_accuracy > 0.9
 
+    @pytest.mark.slow
     def test_proposed_tracks_fixed_point(self, digits_model):
         """Fig. 6(a): at 8 bits both are near the float baseline."""
         m = digits_model
@@ -34,6 +35,7 @@ class TestAccuracyOrdering:
         assert accs["proposed-sc"] > m.float_accuracy - 0.07
         assert accs["lfsr-sc"] < accs["proposed-sc"] - 0.1  # conventional SC far below
 
+    @pytest.mark.slow
     def test_proposed_improves_with_precision(self, digits_model):
         m = digits_model
         ds = m.dataset
@@ -46,6 +48,7 @@ class TestAccuracyOrdering:
 
 
 class TestFineTuning:
+    @pytest.mark.slow
     def test_finetune_recovers_lfsr_accuracy(self, digits_model):
         """Fig. 6(b): fine-tuning recovers most of conventional SC's loss."""
         m = digits_model
@@ -62,6 +65,7 @@ class TestFineTuning:
 
 
 class TestFig6Harness:
+    @pytest.mark.slow
     def test_micro_run(self):
         cfg = Fig6Config(
             spec=DIGITS_QUICK_SPEC,
@@ -83,6 +87,7 @@ class TestFig6Harness:
         text = result_tables(fig6_run(cfg))
         assert "without fine-tuning" in text
 
+    @pytest.mark.slow
     def test_claims_check(self):
         from repro.experiments.fig6_accuracy import claims_check
 

@@ -45,6 +45,7 @@ class TestTruncatedEngine:
 
 
 class TestCnnLevelCurve:
+    @pytest.mark.slow
     def test_accuracy_recovers_with_budget(self):
         from repro.experiments.ablation_energy_quality import run_cnn
 
