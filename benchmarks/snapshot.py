@@ -1,12 +1,21 @@
-"""Stepped-vs-vectorized kernel timing snapshot.
+"""Benchmark snapshots pinned to JSON at the repo root.
 
-Times the per-cycle reference simulators against the vectorized kernels
-of :mod:`repro.core.kernels` on fixed workloads and writes the speedup
-table to ``BENCH_PR2.json`` at the repo root.  Run from the repo root:
+Two suites:
 
-    PYTHONPATH=src python benchmarks/snapshot.py [--repeats 5] [--out BENCH_PR2.json]
+* ``--suite pr2`` (default) — stepped-vs-vectorized kernel timings
+  (:mod:`repro.core.kernels`) written to ``BENCH_PR2.json``;
+* ``--suite pr3`` — batch-throughput scaling of the sharded inference
+  engine (:mod:`repro.parallel`) on the network-performance workload,
+  written to ``BENCH_PR3.json``: images/second of the serial reference
+  vs the batched engine at worker counts 0/1/2/4, each point verified
+  bit-exact against the serial path.
 
-The JSON also carries the tier-1 wall-clock numbers (measured with
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/snapshot.py [--suite pr2|pr3]
+        [--repeats N] [--out FILE]
+
+The PR2 JSON also carries the tier-1 wall-clock numbers (measured with
 ``pytest --durations`` before/after the kernel rewrite) so the speedup
 claim in the PR is pinned to data.
 """
@@ -200,17 +209,90 @@ BENCHES = {
 }
 
 
+def bench_batch_throughput(
+    repeats: int,
+    n_images: int = 256,
+    worker_counts: tuple[int, ...] = (0, 1, 2, 4),
+    batch_size: int = 16,
+) -> dict:
+    """Throughput scaling curve of the sharded batched inference engine.
+
+    The workload is the network-performance benchmark net (digits,
+    proposed-sc conv arithmetic at N=8).  ``workers=-1`` is the serial
+    reference path; ``workers=0`` the in-process sharded path with the
+    schedule cache; ``workers>=1`` the process pool.  Every timed run is
+    verified bit-exact against the serial predictions.
+    """
+    from repro.experiments.network_performance import throughput_curve
+
+    results = throughput_curve(
+        n_images=n_images,
+        worker_counts=worker_counts,
+        batch_size=batch_size,
+        repeats=repeats,
+    )
+    serial = next(r for r in results if r.workers < 0)
+    curve = []
+    for r in results:
+        entry = r.to_dict()
+        entry["seconds"] = round(r.seconds, 6)
+        entry["images_per_sec"] = round(r.images_per_sec, 2)
+        entry["speedup_vs_serial"] = round(r.images_per_sec / serial.images_per_sec, 2)
+        curve.append(entry)
+    by_workers = {r.workers: r for r in results}
+    return {
+        "workload": (
+            f"digits-quick / proposed-sc N=8, {n_images} images, "
+            f"batch_size={batch_size} (serial reference = workers:-1)"
+        ),
+        "curve": curve,
+        "speedup_at_4_workers": (
+            round(by_workers[4].images_per_sec / serial.images_per_sec, 2)
+            if 4 in by_workers
+            else None
+        ),
+        "all_bit_exact": all(r.bit_exact for r in results),
+    }
+
+
+def _run_pr3(args: argparse.Namespace) -> int:
+    out = args.out or Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+    result = bench_batch_throughput(args.repeats)
+    for entry in result["curve"]:
+        label = "serial" if entry["workers"] < 0 else f"workers={entry['workers']}"
+        print(
+            f"{label:12s} {entry['images_per_sec']:>8.1f} img/s "
+            f"({entry['speedup_vs_serial']}x, bit_exact={entry['bit_exact']})"
+        )
+    report = {
+        "schema": "bench-pr3/v1",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "batch_throughput": result,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not result["all_bit_exact"]:
+        print("ERROR: a timed run diverged from the serial reference")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=("pr2", "pr3"), default="pr2")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--tier1-seconds", type=float, default=None,
                         help="measured tier-1 wall-clock to record (seconds)")
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_PR2.json",
-    )
+    parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
+
+    if args.suite == "pr3":
+        return _run_pr3(args)
+    args.out = args.out or Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
     kernels = {}
     for name, fn in BENCHES.items():

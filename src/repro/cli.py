@@ -4,6 +4,7 @@ Commands
 --------
 ``multiply``   one signed BISC multiply with its trace and latency
 ``experiment`` run a named experiment harness (or ``all``)
+``infer``      timed batched SC inference (sharded process-pool engine)
 ``rtl``        emit the Verilog RTL project
 ``info``       version, experiment list, benchmark specs
 ``cache``      inspect/verify/clear the checkpoint artifact store
@@ -49,6 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a table/figure harness")
     p_exp.add_argument("name", choices=_EXPERIMENT_NAMES)
     p_exp.add_argument("--quick", action="store_true", help="CI-sized presets")
+
+    p_inf = sub.add_parser("infer", help="timed batched SC inference on a benchmark")
+    p_inf.add_argument("--benchmark", choices=("digits", "shapes"), default="digits")
+    p_inf.add_argument("--engine", default="proposed-sc", help="conv arithmetic")
+    p_inf.add_argument("--n-bits", type=int, default=8, help="precision incl. sign")
+    p_inf.add_argument("--images", type=int, default=64, help="batch workload size")
+    p_inf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size (0 = in-process sharding; omit for the serial reference path)",
+    )
+    p_inf.add_argument("--batch", type=int, default=16, help="images per shard")
+    p_inf.add_argument("--no-cache", action="store_true", help="disable per-worker caches")
+    p_inf.add_argument(
+        "--check", action="store_true", help="verify bit-exactness against the serial path"
+    )
+    p_inf.add_argument("--repeats", type=int, default=1, help="timed repeats (min is kept)")
 
     p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
     p_rtl.add_argument("--out", default="rtl", help="output directory")
@@ -123,6 +142,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.experiments.common import DIGITS_QUICK_SPEC, SHAPES_QUICK_SPEC
+    from repro.experiments.network_performance import measure_throughput
+    from repro.parallel import ParallelConfig
+
+    spec = DIGITS_QUICK_SPEC if args.benchmark == "digits" else SHAPES_QUICK_SPEC
+    if args.workers is None:
+        parallelism = None
+        mode = "serial reference"
+    else:
+        parallelism = ParallelConfig(
+            workers=args.workers, batch_size=args.batch, use_cache=not args.no_cache
+        )
+        mode = f"workers={args.workers} batch={args.batch} cache={not args.no_cache}"
+    result = measure_throughput(
+        spec,
+        engine=args.engine,
+        n_bits=args.n_bits,
+        n_images=args.images,
+        parallelism=parallelism,
+        repeats=args.repeats,
+        check=args.check,
+    )
+    print(
+        f"{spec.dataset} / {args.engine} N={args.n_bits}: {result.n_images} images "
+        f"in {result.seconds:.3f}s — {result.images_per_sec:.1f} img/s ({mode})"
+    )
+    if args.check:
+        print(f"bit-exact vs serial: {'OK' if result.bit_exact else 'MISMATCH'}")
+        return 0 if result.bit_exact else 1
+    return 0
+
+
 def _cmd_rtl(args: argparse.Namespace) -> int:
     from repro.core.verilog import write_rtl_project
 
@@ -187,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "multiply": _cmd_multiply,
         "experiment": _cmd_experiment,
+        "infer": _cmd_infer,
         "rtl": _cmd_rtl,
         "info": _cmd_info,
         "cache": _cmd_cache,

@@ -50,6 +50,10 @@ class Fig6Config:
     acc_bits: int = 2
     saturate: str = "final"
     eval_batch: int = 250
+    #: ``None`` = serial reference path; an int or
+    #: :class:`repro.parallel.ParallelConfig` routes evaluation through
+    #: the sharded batched engine (bit-exact, so the grids are unchanged)
+    parallelism: object = None
 
 
 @dataclass
@@ -69,7 +73,9 @@ def _evaluate(model: TrainedModel, method: str, n_bits: int, cfg: Fig6Config) ->
         model.net, method, model.ranges, n_bits=n_bits, acc_bits=cfg.acc_bits, saturate=cfg.saturate
     )
     ds = model.dataset
-    return model.net.accuracy(ds.x_test, ds.y_test, batch=cfg.eval_batch)
+    return model.net.accuracy(
+        ds.x_test, ds.y_test, batch=cfg.eval_batch, parallelism=cfg.parallelism
+    )
 
 
 def _finetune_and_evaluate(
@@ -85,7 +91,9 @@ def _finetune_and_evaluate(
     )
     ds = model.dataset
     trainer.train(ds.x_train, ds.y_train, epochs=cfg.ft_epochs)
-    return model.net.accuracy(ds.x_test, ds.y_test, batch=cfg.eval_batch)
+    return model.net.accuracy(
+        ds.x_test, ds.y_test, batch=cfg.eval_batch, parallelism=cfg.parallelism
+    )
 
 
 def run(cfg: Fig6Config, verbose: bool = False) -> Fig6Result:

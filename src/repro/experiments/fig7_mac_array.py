@@ -25,7 +25,7 @@ from repro.experiments.common import (
 )
 from repro.hw import compare_mac_arrays
 
-__all__ = ["run", "main", "trained_conv_weights"]
+__all__ = ["run", "main", "result_table", "trained_conv_weights"]
 
 
 def trained_conv_weights(spec: BenchmarkSpec) -> np.ndarray:
@@ -68,30 +68,32 @@ def run(
     }
 
 
+def result_table(setting: str, cmp: dict[str, object]) -> str:
+    """One comparison rendered exactly as the report prints it."""
+    rows = [
+        [
+            r.label,
+            f"{r.area_mm2:.4f}",
+            f"{r.avg_mac_cycles:.3f}",
+            f"{r.power_mw:.2f}",
+            f"{r.energy_per_mac_pj:.4f}",
+            f"{r.adp_um2_cycles:.1f}",
+        ]
+        for r in cmp["rows"]
+    ]
+    ratios = ", ".join(f"{k}={v:.2f}" for k, v in cmp["ratios"].items())
+    return (
+        f"Fig. 7 — {setting} (256 MACs @ 1 GHz)\n"
+        + format_table(
+            ["design", "area mm^2", "cyc/MAC", "power mW", "pJ/MAC", "ADP um^2*cyc"], rows
+        )
+        + f"\nratios: {ratios}"
+    )
+
+
 def main() -> str:
     results = run()
-    blocks = []
-    for setting, cmp in results.items():
-        rows = [
-            [
-                r.label,
-                f"{r.area_mm2:.4f}",
-                f"{r.avg_mac_cycles:.3f}",
-                f"{r.power_mw:.2f}",
-                f"{r.energy_per_mac_pj:.4f}",
-                f"{r.adp_um2_cycles:.1f}",
-            ]
-            for r in cmp["rows"]
-        ]
-        ratios = ", ".join(f"{k}={v:.2f}" for k, v in cmp["ratios"].items())
-        blocks.append(
-            f"Fig. 7 — {setting} (256 MACs @ 1 GHz)\n"
-            + format_table(
-                ["design", "area mm^2", "cyc/MAC", "power mW", "pJ/MAC", "ADP um^2*cyc"], rows
-            )
-            + f"\nratios: {ratios}"
-        )
-    out = "\n\n".join(blocks)
+    out = "\n\n".join(result_table(setting, cmp) for setting, cmp in results.items())
     print(out)
     return out
 

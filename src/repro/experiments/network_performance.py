@@ -4,9 +4,20 @@ Profiles whole trained CNNs on the modelled 256-MAC accelerator:
 per-conv-layer cycles for the binary / conventional-SC / proposed
 arrays, whole-network latency, energy per inference and the speedup /
 energy-gain headlines — Fig. 7 lifted from per-MAC to per-network.
+
+The module also hosts the *software* throughput workload used by the
+benchmark snapshots: :func:`measure_throughput` times the batched
+inference engine (images/second) on a trained checkpoint under a given
+``parallelism`` setting, and :func:`throughput_curve` sweeps worker
+counts to produce the scaling curve recorded in ``BENCH_PR3.json``.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
 
 from repro.core.conv_mapping import AcceleratorConfig, TilingConfig
 from repro.experiments.common import (
@@ -18,7 +29,7 @@ from repro.experiments.common import (
 )
 from repro.hw.performance import NetworkProfile, profile_network
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "ThroughputResult", "measure_throughput", "throughput_curve"]
 
 _INPUT_SHAPES = {"digits": (1, 28, 28), "shapes": (3, 32, 32)}
 
@@ -39,6 +50,116 @@ def run(
     return profile_network(
         model.net, _INPUT_SHAPES[spec.dataset], config, w_scales=w_scales
     )
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One timed batched-inference run on the workload checkpoint."""
+
+    dataset: str
+    engine: str
+    n_bits: int
+    n_images: int
+    workers: int
+    batch_size: int
+    use_cache: bool
+    seconds: float
+    images_per_sec: float
+    bit_exact: bool | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _workload(spec: BenchmarkSpec, engine: str, n_bits: int, n_images: int):
+    """Trained net with the requested conv arithmetic plus an eval batch."""
+    from repro.nn import attach_engines
+
+    model = get_trained_model(spec)
+    attach_engines(model.net, engine, model.ranges, n_bits=n_bits)
+    x = model.dataset.x_test
+    reps = -(-n_images // x.shape[0])
+    if reps > 1:
+        x = np.concatenate([x] * reps)
+    return model, x[:n_images]
+
+
+def measure_throughput(
+    spec: BenchmarkSpec = DIGITS_QUICK_SPEC,
+    engine: str = "proposed-sc",
+    n_bits: int = 8,
+    n_images: int = 64,
+    parallelism=None,
+    repeats: int = 1,
+    check: bool = False,
+) -> ThroughputResult:
+    """Images/second of batched inference under ``parallelism``.
+
+    ``parallelism=None`` times the serial reference path
+    (``Network.predict``).  ``check=True`` additionally verifies the
+    timed run's predictions bit-exactly against the serial path at the
+    same batch chunking (the parity claim the benchmark snapshot
+    records; see :mod:`repro.parallel.engine` for why chunk sizes are
+    part of the contract).
+    """
+    from repro.parallel import resolve_parallelism
+
+    model, x = _workload(spec, engine, n_bits, n_images)
+    if parallelism is None:
+        workers, batch_size, use_cache = -1, 0, False
+    else:
+        config = resolve_parallelism(parallelism)
+        workers, batch_size, use_cache = config.workers, config.batch_size, config.use_cache
+    best = float("inf")
+    pred = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        pred = model.net.predict(x, parallelism=parallelism)
+        best = min(best, time.perf_counter() - t0)
+    bit_exact = None
+    if check:
+        serial = model.net.predict(x, batch=batch_size or x.shape[0] or 1)
+        bit_exact = bool(np.array_equal(pred, serial))
+    model.restore_float()
+    return ThroughputResult(
+        dataset=spec.dataset,
+        engine=engine,
+        n_bits=n_bits,
+        n_images=n_images,
+        workers=workers,
+        batch_size=batch_size,
+        use_cache=use_cache,
+        seconds=best,
+        images_per_sec=n_images / best if best > 0 else float("inf"),
+        bit_exact=bit_exact,
+    )
+
+
+def throughput_curve(
+    spec: BenchmarkSpec = DIGITS_QUICK_SPEC,
+    engine: str = "proposed-sc",
+    n_bits: int = 8,
+    n_images: int = 64,
+    worker_counts: tuple[int, ...] = (0, 1, 2, 4),
+    batch_size: int = 16,
+    repeats: int = 1,
+) -> list[ThroughputResult]:
+    """Scaling curve: serial reference first, then each worker count.
+
+    ``workers=-1`` in the output marks the serial (uncached) reference
+    run every speedup in the snapshot is measured against.
+    """
+    from repro.parallel import ParallelConfig
+
+    results = [
+        measure_throughput(spec, engine, n_bits, n_images, None, repeats=repeats, check=True)
+    ]
+    for workers in worker_counts:
+        config = ParallelConfig(workers=workers, batch_size=batch_size)
+        results.append(
+            measure_throughput(spec, engine, n_bits, n_images, config, repeats=repeats, check=True)
+        )
+    return results
 
 
 def main() -> str:

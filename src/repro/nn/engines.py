@@ -205,15 +205,35 @@ class LfsrScEngine(MatmulEngine):
 
 
 class ProposedScEngine(MatmulEngine):
-    """The paper's BISC-MVM (deterministic, low-discrepancy SC)."""
+    """The paper's BISC-MVM (deterministic, low-discrepancy SC).
 
-    def __init__(self, **kwargs) -> None:
+    ``cache`` optionally points at a
+    :class:`repro.parallel.cache.ScheduleCache`; when set, the matmul
+    goes through the cached fast path (bit-exact with
+    :func:`repro.core.mvm.sc_matmul` — the parity fleet pins this).
+    The batched inference engine installs one cache per worker process;
+    the attribute is dropped on pickling so a cache is never shipped
+    across process boundaries.
+    """
+
+    def __init__(self, cache=None, **kwargs) -> None:
         super().__init__(**kwargs)
         self.name = "proposed-sc"
+        self.cache = cache
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["cache"] = None
+        return state
 
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
         w_int, x_int = self._quantize(w, x)
-        acc = sc_matmul(w_int, x_int, self.n_bits, self.acc_bits, saturate=self.saturate)
+        if self.cache is not None:
+            acc = self.cache.sc_matmul(
+                w_int, x_int, self.n_bits, self.acc_bits, saturate=self.saturate
+            )
+        else:
+            acc = sc_matmul(w_int, x_int, self.n_bits, self.acc_bits, saturate=self.saturate)
         return self._dequantize(acc)
 
 

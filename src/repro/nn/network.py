@@ -45,17 +45,31 @@ class Network:
             layer.zero_grad()
 
     # -- inference ----------------------------------------------------------
-    def predict(self, x: np.ndarray, batch: int = 256) -> np.ndarray:
-        """Predicted class indices, evaluated in batches."""
-        out = []
+    def predict(self, x: np.ndarray, batch: int = 256, parallelism=None) -> np.ndarray:
+        """Predicted class indices, evaluated in batches.
+
+        ``parallelism`` opts into the sharded batched engine: ``None``
+        keeps the serial reference path, an ``int`` is a worker count,
+        and a :class:`repro.parallel.ParallelConfig` sets every knob.
+        At a fixed batch size, results are bit-exact across worker
+        counts (see :mod:`repro.parallel.engine` for the contract).
+        """
+        if parallelism is not None:
+            from repro.parallel import predict_batched
+
+            return predict_batched(self, x, parallelism)
+        out = [np.empty(0, dtype=np.int64)]
         for i in range(0, x.shape[0], batch):
             logits = self.forward(x[i : i + batch])
             out.append(logits.argmax(axis=1))
         return np.concatenate(out)
 
-    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch: int = 256) -> float:
+    def accuracy(
+        self, x: np.ndarray, labels: np.ndarray, batch: int = 256, parallelism=None
+    ) -> float:
         """Top-1 accuracy on the given set."""
-        return float((self.predict(x, batch=batch) == np.asarray(labels)).mean())
+        pred = self.predict(x, batch=batch, parallelism=parallelism)
+        return float((pred == np.asarray(labels)).mean())
 
     # -- parameters -----------------------------------------------------------
     @property

@@ -1,0 +1,37 @@
+"""Sharded batched inference over the SC-CNN engines.
+
+Public surface of the parallel engine: the scheduler that chunks the
+(images x output-tiles) work grid, the shared-memory plumbing, the
+per-worker schedule caches, and the pool-backed predict/matmul entry
+points.  See ``docs/testing.md`` for the bit-exactness guarantee and
+the test fleet that enforces it.
+"""
+
+from repro.parallel.cache import ScheduleCache, get_worker_cache, reset_worker_cache
+from repro.parallel.engine import (
+    BatchInferenceEngine,
+    ParallelConfig,
+    parallel_matmul,
+    predict_batched,
+    predict_logits,
+    resolve_parallelism,
+)
+from repro.parallel.scheduler import BatchScheduler, Shard
+from repro.parallel.shm import SharedArrayPool, SharedArraySpec, SharedArrayView
+
+__all__ = [
+    "BatchScheduler",
+    "Shard",
+    "SharedArrayPool",
+    "SharedArraySpec",
+    "SharedArrayView",
+    "ScheduleCache",
+    "get_worker_cache",
+    "reset_worker_cache",
+    "ParallelConfig",
+    "resolve_parallelism",
+    "predict_logits",
+    "predict_batched",
+    "parallel_matmul",
+    "BatchInferenceEngine",
+]

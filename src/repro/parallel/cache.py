@@ -1,0 +1,184 @@
+"""Per-worker caches of FSM/MUX schedules and weight coefficient loads.
+
+Inference reuses the same conv weights for every batch, but the serial
+reference engine rebuilds the whole FSM bookkeeping — appearance-count
+coefficients (the per-select-line totals implied by the weight's
+down-counter load) and the operand bit expansion — on every call.  For
+a worker process that serves thousands of batches this is the dominant
+redundant cost, so each worker keeps one :class:`ScheduleCache`:
+
+* ``bit_table(n_bits)`` — the ``(N, 2**N)`` MSB-first bit matrix of
+  every representable offset word, so expanding a batch is one fancy
+  gather instead of ``N`` shifted masks over int64 temporaries;
+* ``select(k, n_bits)`` — memoized MUX select schedules keyed by the
+  down-counter load ``(k, N)``, for the cycle-accurate paths;
+* ``layer_coeff(w_int, n_bits)`` — the sign-folded coefficient matrix
+  of a whole weight matrix, keyed by *content* (SHA-1 of the weight
+  bytes) so that mutating weights in place — fine-tuning — can never
+  serve stale schedules.
+
+:meth:`ScheduleCache.sc_matmul` combines these into a fast path that is
+**bit-exact** with :func:`repro.core.mvm.sc_matmul`: all operands are
+small integers, so the float32/float64 GEMM is exact (every partial sum
+is an exactly-representable integer) and the result is identical down
+to the last LSB.  The parity fleet in ``tests/parallel`` pins this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.accumulator import check_acc_bits
+from repro.core.fsm_generator import coefficient_vector
+from repro.core.kernels import select_schedule
+from repro.core.mvm import sc_matmul
+from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
+
+__all__ = ["ScheduleCache", "get_worker_cache", "reset_worker_cache"]
+
+#: float32 GEMM is exact while every partial sum stays below 2**24.
+_F32_EXACT_BOUND = 1 << 24
+
+
+class ScheduleCache:
+    """Process-local memo of schedules and per-layer coefficient loads."""
+
+    def __init__(self, max_layers: int = 32) -> None:
+        self.max_layers = max_layers
+        self._bit_tables: dict[int, np.ndarray] = {}
+        self._selects: dict[tuple[int, int], np.ndarray] = {}
+        self._layers: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- small schedule memos ---------------------------------------------
+    def bit_table(self, n_bits: int) -> np.ndarray:
+        """``(N, 2**N)`` float32 matrix: row ``n`` = MSB-first bit ``n``."""
+        table = self._bit_tables.get(n_bits)
+        if table is None:
+            words = np.arange(1 << n_bits, dtype=np.int64)
+            table = np.ascontiguousarray(
+                bits_msb_first(words, n_bits).T.astype(np.float32)
+            )
+            self._bit_tables[n_bits] = table
+        return table
+
+    def select(self, k: int, n_bits: int) -> np.ndarray:
+        """MUX select schedule for a ``(k, N)`` down-counter load."""
+        key = (int(k), int(n_bits))
+        sched = self._selects.get(key)
+        if sched is None:
+            sched = select_schedule(key[0], key[1])
+            sched.setflags(write=False)
+            self._selects[key] = sched
+        return sched
+
+    # -- per-layer coefficient loads --------------------------------------
+    def layer_coeff(self, w_int: np.ndarray, n_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sign-folded coefficient matrix + count constant for ``w_int``.
+
+        Returns ``(coeff_t, const)`` where ``coeff_t`` has shape
+        ``(M, N*D)`` in select-line-major order (float32 when exact,
+        float64 otherwise) and ``const[m] = sum_d sign*|w|`` is the
+        subtraction constant of the closed form.  Keyed by weight
+        *content*, so in-place weight updates miss and recompute.
+        """
+        w = np.ascontiguousarray(np.asarray(w_int, dtype=np.int64))
+        key = (hashlib.sha1(w.tobytes()).hexdigest(), w.shape, int(n_bits))
+        cached = self._layers.get(key)
+        if cached is not None:
+            self._layers.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        m, d = w.shape
+        k = np.abs(w)
+        sign = np.where(w < 0, -1, 1).astype(np.int64)
+        coeff = coefficient_vector(k, n_bits) * sign[:, :, None]  # (M, D, N)
+        coeff_t = np.ascontiguousarray(coeff.transpose(0, 2, 1)).reshape(m, d * n_bits)
+        # Exactness bound for float32 GEMM: any partial sum is at most
+        # the total coefficient mass sum_{d,n} |coeff| per output row.
+        mass = int(np.abs(coeff_t).sum(axis=1).max()) if coeff_t.size else 0
+        dtype = np.float32 if 2 * mass < _F32_EXACT_BOUND else np.float64
+        coeff_t = coeff_t.astype(dtype)
+        coeff_t.setflags(write=False)
+        const = (sign * k).sum(axis=1)
+        const.setflags(write=False)
+        entry = (coeff_t, const)
+        self._layers[key] = entry
+        while len(self._layers) > self.max_layers:
+            self._layers.popitem(last=False)
+        return entry
+
+    # -- the fast batched matmul ------------------------------------------
+    def sc_matmul(
+        self,
+        w_int: np.ndarray,
+        x_int: np.ndarray,
+        n_bits: int,
+        acc_bits: int = 2,
+        saturate: str | None = "final",
+    ) -> np.ndarray:
+        """BISC-MVM matrix product, bit-exact with :func:`~repro.core.mvm.sc_matmul`.
+
+        The ``"term"`` saturation mode is order-dependent along the dot
+        product and gains nothing from the cached closed form, so it
+        delegates to the reference implementation.
+        """
+        if saturate == "term":
+            return sc_matmul(w_int, x_int, n_bits, acc_bits, saturate=saturate)
+        w = np.asarray(w_int, dtype=np.int64)
+        x = np.asarray(x_int, dtype=np.int64)
+        if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
+            raise ValueError(f"shape mismatch: {w.shape} @ {x.shape}")
+        lo, hi = signed_range(n_bits)
+        for name, arr in (("w_int", w), ("x_int", x)):
+            if arr.size and (arr.min() < lo or arr.max() > hi):
+                raise ValueError(f"{name} out of {n_bits}-bit signed range")
+        if saturate not in ("final", None):
+            raise ValueError(f"unknown saturate mode: {saturate!r}")
+
+        m, d = w.shape
+        _, p = x.shape
+        coeff_t, const = self.layer_coeff(w, n_bits)
+        offs = to_offset_binary(x, n_bits)
+        bits = self.bit_table(n_bits)[:, offs]  # (N, D, P), contiguous
+        bits = bits.reshape(d * n_bits, p)
+        if coeff_t.dtype != np.float32:
+            bits = bits.astype(np.float64)
+        ones_signed = np.rint(np.asarray(coeff_t @ bits, dtype=np.float64)).astype(np.int64)
+        out = 2 * ones_signed - const[:, None]
+        if saturate == "final":
+            width = check_acc_bits(n_bits, acc_bits)
+            out = np.clip(out, -(1 << (width - 1)), (1 << (width - 1)) - 1)
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """Cache effectiveness counters (for logs and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "layers": len(self._layers),
+            "bit_tables": len(self._bit_tables),
+            "selects": len(self._selects),
+        }
+
+
+_WORKER_CACHE: ScheduleCache | None = None
+
+
+def get_worker_cache() -> ScheduleCache:
+    """The process-global cache (one per pool worker)."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ScheduleCache()
+    return _WORKER_CACHE
+
+
+def reset_worker_cache() -> None:
+    """Drop the process-global cache (tests)."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = None

@@ -1,0 +1,242 @@
+"""Sharded batched SC-CNN inference engine (process pool + shared memory).
+
+The entry points mirror the serial API so callers opt in with one
+``parallelism=`` knob:
+
+* :func:`predict_logits` / :func:`predict_batched` — whole-network
+  batched inference, images sharded across a ``ProcessPoolExecutor``;
+* :func:`parallel_matmul` — one engine matmul sharded over the
+  (output-tiles x columns) grid, the paper's ``T_M`` tiling axis;
+* :class:`BatchInferenceEngine` — an object wrapper carrying the
+  network and configuration for repeated batches.
+
+Bit-exactness contract: for a fixed ``batch_size``/``tile_size``, the
+reassembled result is identical no matter how shards are distributed —
+worker counts, process pool vs in-process, ragged final batches, empty
+batches.  This holds because shards write disjoint output blocks and
+every output element is computed by exactly one shard with the very
+same arithmetic (per-element accumulation never crosses a shard
+boundary).  The chunk sizes themselves are part of the contract for
+the same reason they are in the serial engine's ``batch=`` parameter:
+the SC conv arithmetic is integer-exact at any shape, but the float
+dense head goes through BLAS, whose summation order may differ between
+a ``(1, d)`` and a ``(7, d)`` operand.  The differential fleet in
+``tests/parallel`` enforces the contract.
+
+``workers=0`` runs the same scheduler/reassembly path in-process (no
+pool, no shared memory) and is the reference the fleet compares
+against; ``workers>=1`` uses the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel import worker as _worker
+from repro.parallel.cache import get_worker_cache
+from repro.parallel.scheduler import BatchScheduler
+from repro.parallel.shm import SharedArrayPool
+
+__all__ = [
+    "ParallelConfig",
+    "resolve_parallelism",
+    "predict_logits",
+    "predict_batched",
+    "parallel_matmul",
+    "BatchInferenceEngine",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the batched engine.
+
+    ``workers=0`` executes shards in-process (serial reference path);
+    ``workers>=1`` uses a process pool of that size.  ``batch_size``
+    chunks the image axis, ``tile_size`` the output-tile axis of
+    matmul-level sharding (0 = whole axis).  ``use_cache`` enables the
+    per-worker FSM-schedule caches; disabling it reproduces the
+    uncached serial engine's work profile exactly.
+    """
+
+    workers: int = 0
+    batch_size: int = 64
+    tile_size: int = 0
+    start_method: str | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch_size < 0 or self.tile_size < 0:
+            raise ValueError("chunk sizes must be >= 0")
+
+    def context(self):
+        """The multiprocessing context for this configuration."""
+        method = self.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        return multiprocessing.get_context(method)
+
+
+def resolve_parallelism(parallelism) -> ParallelConfig:
+    """Normalize the ``parallelism=`` knob (int or config) to a config."""
+    if parallelism is None:
+        return ParallelConfig()
+    if isinstance(parallelism, ParallelConfig):
+        return parallelism
+    if isinstance(parallelism, (int, np.integer)):
+        return ParallelConfig(workers=int(parallelism))
+    raise TypeError(f"parallelism must be None, int or ParallelConfig, got {parallelism!r}")
+
+
+def _n_outputs(net) -> int:
+    """Logit width of a network: the bias length of its last head layer."""
+    for layer in reversed(net.layers):
+        for p in reversed(layer.params):
+            if p.value.ndim == 1:
+                return int(p.value.size)
+    raise ValueError("cannot infer network output width (no bias-carrying layer)")
+
+
+def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
+    """Batched logits; bit-exact across worker counts at fixed chunking.
+
+    ``batch_size=0`` evaluates the whole set as one shard and is then
+    bit-exact with ``net.forward(x)`` itself.
+    """
+    config = resolve_parallelism(parallelism)
+    x = np.asarray(x)
+    n = x.shape[0]
+    n_out = _n_outputs(net)
+    scheduler = BatchScheduler(n, 1, batch_size=config.batch_size)
+    shards = scheduler.shards()
+    if n == 0:
+        return np.empty((0, n_out), dtype=np.float64)
+
+    if config.workers == 0:
+        out = np.empty((n, n_out), dtype=np.float64)
+        restore = _attach_caches_inproc(net, config)
+        try:
+            for shard in shards:
+                out[shard.image_slice] = _worker.forward_logits(
+                    net, x[shard.image_slice]
+                )
+        finally:
+            restore()
+        return out
+
+    with SharedArrayPool() as pool:
+        skel, state = _worker.net_skeleton(net)
+        weight_specs = [pool.share(f"w{i}", p) for i, p in enumerate(state)]
+        x_spec = pool.share("x", np.ascontiguousarray(x))
+        out_spec = pool.alloc("out", (n, n_out), np.float64)
+        ctx = config.context()
+        with ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=ctx,
+            initializer=_worker.init_network_worker,
+            initargs=(skel, weight_specs, x_spec, out_spec, config.use_cache),
+        ) as executor:
+            futures = [executor.submit(_worker.run_network_shard, s) for s in shards]
+            indices = sorted(f.result() for f in futures)
+        if indices != [s.index for s in shards]:  # pragma: no cover - defensive
+            raise RuntimeError("shard reassembly mismatch")
+        return pool.array("out").copy()
+
+
+def predict_batched(net, x: np.ndarray, parallelism=None) -> np.ndarray:
+    """Predicted class indices (argmax of :func:`predict_logits`)."""
+    return predict_logits(net, x, parallelism).argmax(axis=1)
+
+
+def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> np.ndarray:
+    """``engine.matmul(w, x)`` sharded over the (tiles x columns) grid."""
+    config = resolve_parallelism(parallelism)
+    w = np.asarray(w)
+    x = np.asarray(x)
+    if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
+        raise ValueError(f"shape mismatch: {w.shape} @ {x.shape}")
+    m, p = w.shape[0], x.shape[1]
+    scheduler = BatchScheduler(p, m, batch_size=config.batch_size, tile_size=config.tile_size)
+    shards = scheduler.shards()
+    out = np.zeros((m, p), dtype=np.float64)
+    if not shards:
+        return out
+
+    if config.workers == 0:
+        restore = _attach_engine_cache_inproc(engine, config)
+        try:
+            for shard in shards:
+                out[shard.tile_slice, shard.image_slice] = engine.matmul(
+                    w[shard.tile_slice], x[:, shard.image_slice]
+                )
+        finally:
+            restore()
+        return out
+
+    with SharedArrayPool() as pool:
+        w_spec = pool.share("w", np.ascontiguousarray(w))
+        x_spec = pool.share("x", np.ascontiguousarray(x))
+        out_spec = pool.alloc("out", (m, p), np.float64)
+        ctx = config.context()
+        with ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=ctx,
+            initializer=_worker.init_matmul_worker,
+            initargs=(engine, w_spec, x_spec, out_spec, config.use_cache),
+        ) as executor:
+            futures = [executor.submit(_worker.run_matmul_shard, s) for s in shards]
+            for f in futures:
+                f.result()
+        return pool.array("out").copy()
+
+
+def _attach_caches_inproc(net, config: ParallelConfig):
+    """Attach the process cache to a net's engines; return an undo."""
+    if not config.use_cache:
+        return lambda: None
+    undos = []
+    for conv in net.conv_layers:
+        if hasattr(conv.engine, "cache"):
+            engine, prev = conv.engine, conv.engine.cache
+            engine.cache = get_worker_cache()
+            undos.append((engine, prev))
+    return lambda: [setattr(e, "cache", prev) for e, prev in undos]
+
+
+def _attach_engine_cache_inproc(engine, config: ParallelConfig):
+    if not config.use_cache or not hasattr(engine, "cache"):
+        return lambda: None
+    prev = engine.cache
+    engine.cache = get_worker_cache()
+    return lambda: setattr(engine, "cache", prev)
+
+
+class BatchInferenceEngine:
+    """Object wrapper: a network plus a parallel configuration.
+
+    Convenient for serving-style call sites that evaluate many batches
+    with the same knobs::
+
+        engine = BatchInferenceEngine(net, ParallelConfig(workers=4))
+        labels = engine.predict(x)
+    """
+
+    def __init__(self, net, config: ParallelConfig | int | None = None) -> None:
+        self.net = net
+        self.config = resolve_parallelism(config)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return predict_logits(self.net, x, self.config)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return predict_batched(self.net, x, self.config)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(labels)).mean())

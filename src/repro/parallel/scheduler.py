@@ -1,0 +1,85 @@
+"""Deterministic work-grid chunking for batched SC-CNN inference.
+
+The unit of work is a :class:`Shard`: a rectangle of the
+``images x output-tiles`` grid (the paper's data-parallel axes — batch
+across BISC-MVM lane groups, ``T_M`` row tiles across the MAC array).
+The scheduler enumerates shards in a fixed row-major order, so result
+reassembly is deterministic no matter which worker finishes first:
+every shard writes a disjoint block of the output and is identified by
+its index alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Shard", "BatchScheduler"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One rectangle of the (images x tiles) work grid."""
+
+    index: int
+    images: tuple[int, int]  #: [start, stop) over the image/column axis
+    tiles: tuple[int, int]  #: [start, stop) over the output-tile/row axis
+
+    @property
+    def image_slice(self) -> slice:
+        return slice(*self.images)
+
+    @property
+    def tile_slice(self) -> slice:
+        return slice(*self.tiles)
+
+    @property
+    def n_images(self) -> int:
+        return self.images[1] - self.images[0]
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tiles[1] - self.tiles[0]
+
+
+class BatchScheduler:
+    """Chunk an ``n_images x n_tiles`` grid into deterministic shards.
+
+    ``batch_size`` chunks the image axis, ``tile_size`` the output-tile
+    axis; ``0`` means "one chunk for the whole axis".  The final chunk
+    of each axis is ragged when the size does not divide evenly, and an
+    empty grid yields no shards at all — both cases are pinned by the
+    parity fleet.
+    """
+
+    def __init__(self, n_images: int, n_tiles: int = 1, batch_size: int = 0, tile_size: int = 0):
+        if n_images < 0 or n_tiles < 0:
+            raise ValueError("grid dimensions must be >= 0")
+        if batch_size < 0 or tile_size < 0:
+            raise ValueError("chunk sizes must be >= 0 (0 = whole axis)")
+        self.n_images = n_images
+        self.n_tiles = n_tiles
+        self.batch_size = batch_size or max(n_images, 1)
+        self.tile_size = tile_size or max(n_tiles, 1)
+
+    @staticmethod
+    def _chunks(total: int, size: int) -> list[tuple[int, int]]:
+        return [(lo, min(lo + size, total)) for lo in range(0, total, size)]
+
+    def shards(self) -> list[Shard]:
+        """All shards, row-major (tiles outer, images inner)."""
+        out = []
+        for t_lo, t_hi in self._chunks(self.n_tiles, self.tile_size):
+            for i_lo, i_hi in self._chunks(self.n_images, self.batch_size):
+                out.append(Shard(len(out), (i_lo, i_hi), (t_lo, t_hi)))
+        return out
+
+    def __len__(self) -> int:
+        n_img_chunks = -(-self.n_images // self.batch_size) if self.n_images else 0
+        n_tile_chunks = -(-self.n_tiles // self.tile_size) if self.n_tiles else 0
+        return n_img_chunks * n_tile_chunks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchScheduler({self.n_images}x{self.n_tiles} grid, "
+            f"batch={self.batch_size}, tile={self.tile_size}, {len(self)} shards)"
+        )

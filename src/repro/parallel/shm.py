@@ -1,0 +1,148 @@
+"""Shared-memory array plumbing for the batched inference engine.
+
+Workers of the process pool never receive activations or weights in
+their task pickles: every large array crosses the process boundary
+once, through :mod:`multiprocessing.shared_memory`.  The parent owns
+the segments (:class:`SharedArrayPool`); workers attach read/write
+numpy views from the picklable :class:`SharedArraySpec` handed to the
+pool initializer.
+
+Zero-size arrays are handled explicitly (the OS refuses a 0-byte
+segment): a spec with ``size == 0`` never allocates and attaches as an
+empty view, so empty batches flow through the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedArrayView", "SharedArrayPool"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle of one shared array (name + layout)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArrayView:
+    """A numpy view over an attached segment, keeping the segment alive.
+
+    The ``shm`` handle must outlive the array; bundling them prevents
+    the classic "segment closed while a view is live" crash.
+    """
+
+    def __init__(self, spec: SharedArraySpec) -> None:
+        self.spec = spec
+        if spec.nbytes == 0:
+            self.shm = None
+            self.array = np.empty(spec.shape, dtype=spec.dtype)
+        else:
+            self.shm = _attach_untracked(spec.name)
+            self.array = np.ndarray(spec.shape, dtype=spec.dtype, buffer=self.shm.buf)
+
+    def close(self) -> None:
+        """Detach; the owner (parent pool) is responsible for unlinking."""
+        if self.shm is not None:
+            self.array = None
+            self.shm.close()
+            self.shm = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    Ownership stays with the parent pool, but on Python < 3.13 every
+    attach also registers the segment with the (process-tree-wide)
+    resource tracker.  Since registrations are a de-duplicating set,
+    an attach-side register followed by unregister would erase the
+    parent's own registration and make its later ``unlink`` trip a
+    KeyError inside the tracker — so registration must be suppressed
+    at attach time, not undone after.  Python 3.13+ exposes this as
+    ``track=False``; older interpreters need the register call patched
+    out for the duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArrayPool:
+    """Parent-side owner of a set of named shared arrays.
+
+    Use as a context manager: segments are created on ``share``/
+    ``alloc`` and unlinked on exit, so a crashed run cannot leak
+    system-wide shared memory.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._arrays: dict[str, np.ndarray] = {}
+        self._specs: dict[str, SharedArraySpec] = {}
+
+    def __enter__(self) -> SharedArrayPool:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def share(self, key: str, array: np.ndarray) -> SharedArraySpec:
+        """Copy ``array`` into a new segment; return its spec."""
+        spec = self.alloc(key, array.shape, array.dtype)
+        if spec.nbytes:
+            self._arrays[key][...] = array
+        return spec
+
+    def alloc(self, key: str, shape: tuple[int, ...], dtype) -> SharedArraySpec:
+        """Allocate an uninitialized shared array under ``key``."""
+        if key in self._specs:
+            raise ValueError(f"shared array {key!r} already allocated")
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes == 0:
+            arr = np.empty(shape, dtype=dtype)
+            spec = SharedArraySpec("", shape, dtype.str)
+        else:
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._segments.append(seg)
+            arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+            spec = SharedArraySpec(seg.name, shape, dtype.str)
+        self._arrays[key] = arr
+        self._specs[key] = spec
+        return spec
+
+    def array(self, key: str) -> np.ndarray:
+        """Parent-side view of a previously allocated array."""
+        return self._arrays[key]
+
+    def close(self) -> None:
+        """Release every segment (close + unlink)."""
+        self._arrays.clear()
+        self._specs.clear()
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()

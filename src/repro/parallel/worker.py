@@ -1,0 +1,129 @@
+"""Worker-side plumbing of the batched inference pool.
+
+Each pool worker is initialized exactly once: it unpickles a weightless
+network *skeleton*, attaches the shared-memory segments (weights,
+input batch, output logits), copies the weights into its skeleton and
+installs its process-local :class:`~repro.parallel.cache.ScheduleCache`
+on every cache-aware conv engine.  After that, a task is just a
+:class:`~repro.parallel.scheduler.Shard` — a few bytes of pickle — and
+the worker writes its logits block straight into the shared output.
+
+The same module also hosts the matmul-level workers used by
+:func:`repro.parallel.engine.parallel_matmul`, which shard a single
+``W @ X`` over the (output-tiles x columns) grid.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.parallel.cache import get_worker_cache
+from repro.parallel.scheduler import Shard
+from repro.parallel.shm import SharedArraySpec, SharedArrayView
+
+__all__ = [
+    "net_skeleton",
+    "forward_logits",
+    "attach_engine_caches",
+    "init_network_worker",
+    "run_network_shard",
+    "init_matmul_worker",
+    "run_matmul_shard",
+]
+
+#: Process-local state installed by the pool initializers.
+_STATE: dict = {}
+
+
+def net_skeleton(net):
+    """Weightless deep copy of ``net`` plus its parameter arrays.
+
+    The skeleton's parameters and layer caches are emptied so pickling
+    it ships topology and engine configuration only; the actual weight
+    tensors travel separately through shared memory.
+    """
+    state = [p.value.copy() for p in net.params]
+    skel = copy.deepcopy(net)
+    for layer in skel.layers:
+        if hasattr(layer, "_cache"):
+            layer._cache = None
+    for p in skel.params:
+        p.value = np.empty(0)
+        p.grad = np.empty(0)
+    for conv in skel.conv_layers:
+        if hasattr(conv.engine, "cache"):
+            conv.engine.cache = None
+    return skel, state
+
+
+def attach_engine_caches(net) -> None:
+    """Point every cache-aware conv engine at this process's cache."""
+    cache = get_worker_cache()
+    for conv in net.conv_layers:
+        if hasattr(conv.engine, "cache"):
+            conv.engine.cache = cache
+
+
+def forward_logits(net, x: np.ndarray) -> np.ndarray:
+    """Forward pass returning logits (no argmax), ``(n, C)`` float64."""
+    return np.asarray(net.forward(x), dtype=np.float64)
+
+
+def _load_weights(net, weight_specs: list[SharedArraySpec]) -> None:
+    if len(weight_specs) != len(net.params):
+        raise ValueError("weight segment count does not match network parameters")
+    for p, spec in zip(net.params, weight_specs):
+        view = SharedArrayView(spec)
+        p.value = view.array.astype(np.float64, copy=True)
+        p.grad = np.zeros_like(p.value)
+        view.close()
+
+
+def init_network_worker(
+    skel,
+    weight_specs: list[SharedArraySpec],
+    x_spec: SharedArraySpec,
+    out_spec: SharedArraySpec,
+    use_cache: bool,
+) -> None:
+    """Pool initializer: rebuild the net and attach shared arrays."""
+    _load_weights(skel, weight_specs)
+    if use_cache:
+        attach_engine_caches(skel)
+    _STATE["net"] = skel
+    _STATE["x"] = SharedArrayView(x_spec)
+    _STATE["out"] = SharedArrayView(out_spec)
+
+
+def run_network_shard(shard: Shard) -> int:
+    """Evaluate one image shard; write logits into the shared output."""
+    sl = shard.image_slice
+    logits = forward_logits(_STATE["net"], _STATE["x"].array[sl])
+    _STATE["out"].array[sl] = logits
+    return shard.index
+
+
+def init_matmul_worker(
+    engine,
+    w_spec: SharedArraySpec,
+    x_spec: SharedArraySpec,
+    out_spec: SharedArraySpec,
+    use_cache: bool,
+) -> None:
+    """Pool initializer for sharded single-matmul execution."""
+    if use_cache and hasattr(engine, "cache"):
+        engine.cache = get_worker_cache()
+    _STATE["engine"] = engine
+    _STATE["w"] = SharedArrayView(w_spec)
+    _STATE["x"] = SharedArrayView(x_spec)
+    _STATE["out"] = SharedArrayView(out_spec)
+
+
+def run_matmul_shard(shard: Shard) -> int:
+    """Compute one (tile-rows x column-block) rectangle of ``W @ X``."""
+    w = _STATE["w"].array[shard.tile_slice]
+    x = _STATE["x"].array[:, shard.image_slice]
+    _STATE["out"].array[shard.tile_slice, shard.image_slice] = _STATE["engine"].matmul(w, x)
+    return shard.index

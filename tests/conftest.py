@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -21,3 +23,48 @@ settings.load_profile("repro")
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that need random data."""
     return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/golden instead of comparing",
+    )
+
+
+class GoldenChecker:
+    """Compare-or-rewrite helper behind the ``--update-goldens`` flag.
+
+    ``check(name, text)`` asserts ``text`` equals ``tests/golden/<name>``;
+    with ``--update-goldens`` it rewrites the file instead (and fails so
+    the run is visibly an update, not a green verification).
+    """
+
+    def __init__(self, directory: Path, update: bool) -> None:
+        self.directory = directory
+        self.update = update
+
+    def check(self, name: str, text: str) -> None:
+        path = self.directory / name
+        if self.update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            pytest.skip(f"updated golden {name}")
+        if not path.exists():
+            pytest.fail(
+                f"golden file {name} missing - run pytest with --update-goldens to create it"
+            )
+        expected = path.read_text()
+        assert text == expected, (
+            f"output diverged from golden {name}; if the change is intended, "
+            "re-run with --update-goldens and review the diff"
+        )
+
+
+@pytest.fixture
+def golden(request: pytest.FixtureRequest) -> GoldenChecker:
+    """Golden-file checker rooted at ``tests/golden``."""
+    directory = Path(__file__).parent / "golden"
+    return GoldenChecker(directory, request.config.getoption("--update-goldens"))

@@ -1,0 +1,132 @@
+"""Seed-determinism audit: every harness run twice must agree exactly.
+
+Each experiment harness is invoked twice in the same process with its
+default (fixed) seeds and the two rendered reports are compared as
+strings — the report text encodes every number the harness produces, so
+any hidden global-RNG dependence, cache leakage between runs, or
+checkpoint round-trip drift shows up as a diff.
+
+Training-free harnesses run in the fast tier; harnesses that train or
+fine-tune (through ``get_trained_model`` / SGD) are the expensive half
+of the audit and run in the nightly slow tier.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+import pytest
+
+
+def _quiet(fn, *args, **kwargs) -> str:
+    with contextlib.redirect_stdout(io.StringIO()):
+        return fn(*args, **kwargs)
+
+
+def _fig7_paper_weights() -> str:
+    from repro.analysis import laplace_weights_for_target_latency
+    from repro.experiments.fig7_mac_array import result_table
+    from repro.hw import compare_mac_arrays
+
+    weights = laplace_weights_for_target_latency(7.7, 9)
+    return result_table("cifar-n9-paper-weights", compare_mac_arrays(weights, 9, 256, 16, 1.0))
+
+
+def _table1() -> str:
+    from repro.experiments import table1_signed
+
+    return table1_signed.main()
+
+
+def _fig5_small() -> str:
+    from repro.experiments import fig5_error
+
+    return fig5_error.main((5,))
+
+
+def _table2() -> str:
+    from repro.experiments import table2_area
+
+    return table2_area.main()
+
+
+def _table3_synthetic() -> str:
+    from repro.experiments import table3_accel
+
+    return table3_accel.main(use_trained_weights=False)
+
+
+def _ablation_stream() -> str:
+    from repro.experiments import ablation_stream
+
+    return ablation_stream.main(6)
+
+
+def _ablation_parallelism() -> str:
+    from repro.experiments import ablation_parallelism
+
+    return ablation_parallelism.main()
+
+
+def _resilience() -> str:
+    from repro.experiments import resilience_study
+
+    return resilience_study.main(8)
+
+
+def _fig6_quick() -> str:
+    from repro.experiments import fig6_accuracy
+
+    return fig6_accuracy.main(quick=True)
+
+
+def _ablation_accumulator() -> str:
+    from repro.experiments import ablation_accumulator
+
+    return ablation_accumulator.main()
+
+
+def _ablation_energy_quality() -> str:
+    from repro.experiments import ablation_energy_quality
+
+    return ablation_energy_quality.main()
+
+
+def _network_performance() -> str:
+    from repro.experiments import network_performance
+
+    return network_performance.main()
+
+
+FAST_HARNESSES = {
+    "table1": _table1,
+    "fig5-n5": _fig5_small,
+    "fig7-paper-weights": _fig7_paper_weights,
+    "table2": _table2,
+    "table3-synthetic": _table3_synthetic,
+    "ablation-stream": _ablation_stream,
+    "ablation-parallelism": _ablation_parallelism,
+    "resilience": _resilience,
+}
+
+#: Harnesses that train or fine-tune through ``get_trained_model``.
+SLOW_HARNESSES = {
+    "fig6-quick": _fig6_quick,
+    "ablation-accumulator": _ablation_accumulator,
+    "ablation-energy-quality": _ablation_energy_quality,
+    "network-performance": _network_performance,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAST_HARNESSES))
+def test_harness_is_deterministic(name):
+    fn = FAST_HARNESSES[name]
+    assert _quiet(fn) == _quiet(fn), f"{name} harness output differs between identical runs"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SLOW_HARNESSES))
+def test_training_harness_is_deterministic(name):
+    fn = SLOW_HARNESSES[name]
+    assert _quiet(fn) == _quiet(fn), f"{name} harness output differs between identical runs"

@@ -1,0 +1,45 @@
+"""Golden-file regression tests for the experiment harness reports.
+
+These pin the *rendered text* of the small deterministic harness
+configurations: any change to the arithmetic, the statistics, or the
+table formatting shows up as a golden diff.  Intended changes are
+re-baselined with ``pytest --update-goldens`` (which rewrites
+``tests/golden/`` and skips, so an update run is never silently green).
+
+Only training-free configurations are pinned — the fig7 golden uses the
+latency-matched Laplace weight population instead of a trained
+checkpoint, so the goldens are byte-stable across machines.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+
+def _run_silently(fn, *args, **kwargs) -> str:
+    """Call a harness ``main``-style function, swallowing its printing."""
+    with contextlib.redirect_stdout(io.StringIO()):
+        return fn(*args, **kwargs)
+
+
+def test_table1_report_matches_golden(golden):
+    from repro.experiments import table1_signed
+
+    golden.check("table1_signed.txt", _run_silently(table1_signed.main))
+
+
+def test_fig5_small_report_matches_golden(golden):
+    from repro.experiments import fig5_error
+
+    golden.check("fig5_error_n5.txt", _run_silently(fig5_error.main, (5,)))
+
+
+def test_fig7_paper_weights_report_matches_golden(golden):
+    from repro.analysis import laplace_weights_for_target_latency
+    from repro.experiments.fig7_mac_array import result_table
+    from repro.hw import compare_mac_arrays
+
+    weights = laplace_weights_for_target_latency(7.7, 9)
+    cmp = compare_mac_arrays(weights, 9, 256, 16, 1.0)
+    golden.check("fig7_paper_weights_n9.txt", result_table("cifar-n9-paper-weights", cmp))

@@ -1,0 +1,318 @@
+"""Differential fleet: the sharded batched engine vs the serial reference.
+
+Every test here asserts *bit-exact* equality (``np.array_equal``, no
+tolerances) between the serial engine and the batched one, across the
+axes the engine shards over: worker counts, batch/tile chunking, ragged
+final batches and empty batches.  The hypothesis properties drive the
+in-process paths; fixed-seed tests cover the actual process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mvm import sc_matmul
+from repro.nn import attach_engines, build_mnist_net
+from repro.nn.calibration import LayerRanges
+from repro.nn.engines import FixedPointEngine, ProposedScEngine
+from repro.parallel import (
+    BatchScheduler,
+    ParallelConfig,
+    ScheduleCache,
+    SharedArrayPool,
+    SharedArrayView,
+    parallel_matmul,
+    predict_logits,
+    resolve_parallelism,
+)
+
+POOL_WORKERS = (1, 2, 4)
+
+
+def small_net(seed: int = 3):
+    net = build_mnist_net(seed=seed, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "proposed-sc", ranges, n_bits=8)
+    return net
+
+
+@pytest.fixture(scope="module")
+def net():
+    return small_net()
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(7)
+    return rng.normal(0.0, 0.5, size=(11, 1, 28, 28))
+
+
+# -- scheduler ------------------------------------------------------------
+
+
+def test_scheduler_partitions_grid_exactly():
+    sched = BatchScheduler(10, 7, batch_size=3, tile_size=2)
+    shards = sched.shards()
+    assert len(shards) == len(sched) == 4 * 4
+    covered = np.zeros((7, 10), dtype=int)
+    for shard in shards:
+        covered[shard.tile_slice, shard.image_slice] += 1
+    assert np.array_equal(covered, np.ones((7, 10), dtype=int))
+    assert [s.index for s in shards] == list(range(len(shards)))
+
+
+def test_scheduler_zero_chunk_means_whole_axis():
+    shards = BatchScheduler(10, 4, batch_size=0, tile_size=0).shards()
+    assert len(shards) == 1
+    assert shards[0].image_slice == slice(0, 10)
+    assert shards[0].tile_slice == slice(0, 4)
+
+
+def test_scheduler_ragged_final_shard():
+    shards = BatchScheduler(10, 1, batch_size=4).shards()
+    assert [s.n_images for s in shards] == [4, 4, 2]
+
+
+def test_scheduler_empty_grid():
+    assert BatchScheduler(0, 5, batch_size=4).shards() == []
+    assert BatchScheduler(5, 0, batch_size=4).shards() == []
+
+
+def test_scheduler_rejects_negative_sizes():
+    with pytest.raises(ValueError):
+        BatchScheduler(-1, 1)
+    with pytest.raises(ValueError):
+        BatchScheduler(1, 1, batch_size=-2)
+
+
+# -- config ---------------------------------------------------------------
+
+
+def test_resolve_parallelism_forms():
+    assert resolve_parallelism(None).workers == 0
+    assert resolve_parallelism(3).workers == 3
+    config = ParallelConfig(workers=2, batch_size=8)
+    assert resolve_parallelism(config) is config
+    with pytest.raises(TypeError):
+        resolve_parallelism("four")
+    with pytest.raises(ValueError):
+        ParallelConfig(workers=-1)
+
+
+# -- cached sc_matmul vs core ---------------------------------------------
+
+
+@given(
+    n_bits=st.sampled_from([4, 8]),
+    m=st.integers(0, 5),
+    d=st.integers(0, 6),
+    p=st.integers(0, 5),
+    saturate=st.sampled_from(["final", "term", None]),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_schedule_cache_matmul_matches_core(n_bits, m, d, p, saturate, data):
+    half = 1 << (n_bits - 1)
+    w = np.array(
+        data.draw(st.lists(st.lists(st.integers(-half, half - 1), min_size=d, max_size=d),
+                           min_size=m, max_size=m)),
+        dtype=np.int64,
+    ).reshape(m, d)
+    x = np.array(
+        data.draw(st.lists(st.lists(st.integers(-half, half - 1), min_size=p, max_size=p),
+                           min_size=d, max_size=d)),
+        dtype=np.int64,
+    ).reshape(d, p)
+    cache = ScheduleCache()
+    expected = sc_matmul(w, x, n_bits, 2, saturate=saturate)
+    got = cache.sc_matmul(w, x, n_bits, 2, saturate=saturate)
+    assert np.array_equal(expected, got)
+    # second call hits the cache and must stay identical
+    assert np.array_equal(expected, cache.sc_matmul(w, x, n_bits, 2, saturate=saturate))
+
+
+def test_schedule_cache_reuses_layer_entries():
+    rng = np.random.default_rng(0)
+    cache = ScheduleCache()
+    w = rng.integers(-128, 128, size=(4, 9))
+    for _ in range(3):
+        cache.sc_matmul(w, rng.integers(-128, 128, size=(9, 5)), 8, 2)
+    stats = cache.stats()
+    assert stats["layers"] == 1
+    assert stats["hits"] == 2
+
+
+def test_schedule_cache_keyed_by_content_not_identity():
+    """In-place weight mutation must not serve a stale schedule."""
+    rng = np.random.default_rng(1)
+    cache = ScheduleCache()
+    w = rng.integers(-8, 8, size=(3, 6))
+    x = rng.integers(-8, 8, size=(6, 4))
+    first = cache.sc_matmul(w, x, 4, 2)
+    assert np.array_equal(first, sc_matmul(w, x, 4, 2))
+    w[0, 0] = -w[0, 0] - 1  # mutate the same array object
+    second = cache.sc_matmul(w, x, 4, 2)
+    assert np.array_equal(second, sc_matmul(w, x, 4, 2))
+
+
+# -- in-process sharding (hypothesis-driven) ------------------------------
+
+
+@given(
+    n_bits=st.sampled_from([4, 8]),
+    batch_size=st.integers(0, 7),
+    tile_size=st.integers(0, 5),
+    use_cache=st.booleans(),
+)
+@settings(max_examples=25)
+def test_sharded_matmul_matches_serial_inproc(n_bits, batch_size, tile_size, use_cache):
+    rng = np.random.default_rng(n_bits * 100 + batch_size * 10 + tile_size)
+    engine = ProposedScEngine(n_bits=n_bits)
+    w = rng.normal(0.0, 0.3, size=(6, 14))
+    x = rng.normal(0.0, 0.3, size=(14, 9))
+    expected = engine.matmul(w, x)
+    config = ParallelConfig(
+        workers=0, batch_size=batch_size, tile_size=tile_size, use_cache=use_cache
+    )
+    assert np.array_equal(expected, parallel_matmul(engine, w, x, config))
+
+
+def serial_logits(net, x, batch):
+    """Independent serial reference: plain chunked forward passes."""
+    chunks = [net.forward(x[i : i + batch]) for i in range(0, x.shape[0], batch)]
+    return np.concatenate(chunks) if chunks else np.zeros((0, 10))
+
+
+@given(batch_size=st.integers(1, 6))
+@settings(max_examples=10)
+def test_network_logits_match_serial_chunking_inproc(batch_size):
+    net = small_net(seed=5)
+    x = np.random.default_rng(batch_size).normal(0.0, 0.5, size=(7, 1, 28, 28))
+    expected = serial_logits(net, x, batch_size)
+    got = predict_logits(net, x, ParallelConfig(workers=0, batch_size=batch_size))
+    assert np.array_equal(expected, got)
+
+
+def test_network_logits_whole_set_matches_forward():
+    """batch_size=0 is one shard: bit-exact with ``net.forward`` itself."""
+    net = small_net(seed=5)
+    x = np.random.default_rng(0).normal(0.0, 0.5, size=(7, 1, 28, 28))
+    got = predict_logits(net, x, ParallelConfig(workers=0, batch_size=0))
+    assert np.array_equal(net.forward(x), got)
+
+
+# -- process pool ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", POOL_WORKERS)
+def test_pool_network_parity_ragged(net, images, workers):
+    expected = serial_logits(net, images, 4)
+    got = predict_logits(net, images, ParallelConfig(workers=workers, batch_size=4))
+    assert np.array_equal(expected, got)
+
+
+def test_pool_predict_batched_matches_network_predict(net, images):
+    serial = net.predict(images, batch=4)
+    pooled = net.predict(images, parallelism=ParallelConfig(workers=2, batch_size=4))
+    assert np.array_equal(serial, pooled)
+
+
+def test_pool_empty_batch(net, images):
+    empty = images[:0]
+    logits = predict_logits(net, empty, ParallelConfig(workers=2, batch_size=4))
+    assert logits.shape == (0, 10)
+    assert net.predict(empty, parallelism=2).shape == (0,)
+    assert net.predict(empty).shape == (0,)
+
+
+@pytest.mark.parametrize("engine_factory", [ProposedScEngine, FixedPointEngine])
+def test_pool_matmul_parity(engine_factory):
+    rng = np.random.default_rng(11)
+    engine = engine_factory(n_bits=8)
+    w = rng.normal(0.0, 0.3, size=(9, 20))
+    x = rng.normal(0.0, 0.3, size=(20, 13))
+    expected = engine.matmul(w, x)
+    config = ParallelConfig(workers=2, batch_size=5, tile_size=4)
+    assert np.array_equal(expected, parallel_matmul(engine, w, x, config))
+
+
+def test_pool_without_cache_is_still_exact(net, images):
+    expected = serial_logits(net, images, 4)
+    config = ParallelConfig(workers=2, batch_size=4, use_cache=False)
+    assert np.array_equal(expected, predict_logits(net, images, config))
+
+
+def test_engine_pickle_drops_cache():
+    import pickle
+
+    engine = ProposedScEngine(n_bits=8, cache=ScheduleCache())
+    clone = pickle.loads(pickle.dumps(engine))
+    assert clone.cache is None
+    assert clone.n_bits == 8
+
+
+def test_serial_path_leaves_engine_cache_untouched(net, images):
+    caches_before = [conv.engine.cache for conv in net.conv_layers]
+    predict_logits(net, images, ParallelConfig(workers=0, batch_size=4))
+    assert [conv.engine.cache for conv in net.conv_layers] == caches_before
+
+
+# -- shared memory plumbing ----------------------------------------------
+
+
+def test_shared_array_roundtrip():
+    rng = np.random.default_rng(2)
+    data = rng.normal(size=(5, 7))
+    with SharedArrayPool() as pool:
+        spec = pool.share("a", data)
+        view = SharedArrayView(spec)
+        assert np.array_equal(view.array, data)
+        view.close()
+        assert view.shm is None
+
+
+def test_shared_array_zero_size():
+    with SharedArrayPool() as pool:
+        spec = pool.share("empty", np.empty((0, 4)))
+        assert spec.name == ""
+        view = SharedArrayView(spec)
+        assert view.array.shape == (0, 4)
+        view.close()
+
+
+def test_shared_array_duplicate_key_rejected():
+    with SharedArrayPool() as pool:
+        pool.alloc("a", (2, 2), np.float64)
+        with pytest.raises(ValueError):
+            pool.alloc("a", (2, 2), np.float64)
+
+
+# -- larger fleet (nightly) ----------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("n_bits", [4, 8])
+@pytest.mark.parametrize("workers", POOL_WORKERS)
+def test_pool_network_parity_large(n_bits, workers):
+    net = build_mnist_net(seed=9, c1=4, c2=6, fc=32)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "proposed-sc", ranges, n_bits=n_bits)
+    x = np.random.default_rng(n_bits).normal(0.0, 0.5, size=(33, 1, 28, 28))
+    expected = serial_logits(net, x, 8)
+    got = predict_logits(net, x, ParallelConfig(workers=workers, batch_size=8))
+    assert np.array_equal(expected, got)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", POOL_WORKERS)
+def test_pool_matmul_parity_large(workers):
+    rng = np.random.default_rng(21)
+    engine = ProposedScEngine(n_bits=8)
+    w = rng.normal(0.0, 0.3, size=(48, 120))
+    x = rng.normal(0.0, 0.3, size=(120, 96))
+    expected = engine.matmul(w, x)
+    config = ParallelConfig(workers=workers, batch_size=17, tile_size=13)
+    assert np.array_equal(expected, parallel_matmul(engine, w, x, config))
