@@ -1,0 +1,275 @@
+"""Open-loop async load generator for the ``repro serve`` HTTP plane.
+
+Fires ``POST /v1/predict`` requests at a *fixed offered rate* (open
+loop: arrival times are scheduled up front and never slowed down by
+responses), so queueing delay shows up in the measured latency instead
+of silently throttling the offered load — the standard way to expose a
+service's saturation knee and its backpressure behaviour.
+
+The request payload is a deterministic pseudo-random image batch whose
+shape is discovered from ``GET /healthz``, so the tool works unchanged
+against any benchmark/model the server was started with.
+
+Usage (against a running server)::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --port 8080 \
+        --rps 50 --duration 3 --images-per-request 2 [--expect-all-2xx]
+
+``--expect-all-2xx`` makes the exit code assert that nothing was
+rejected (CI smoke).  The module is also imported by ``snapshot.py
+--suite pr4``: :func:`run_load` is the reusable core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["LoadReport", "http_request", "run_load", "main"]
+
+_CLIENT_TIMEOUT_S = 30.0
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run against ``POST /v1/predict``."""
+
+    offered_rps: float
+    duration_s: float
+    images_per_request: int
+    sent: int
+    completed: int
+    errors: int
+    status_counts: dict = field(default_factory=dict)
+    achieved_rps: float = 0.0
+    images_per_sec: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+
+    @property
+    def all_2xx(self) -> bool:
+        return self.errors == 0 and all(
+            200 <= int(code) < 300 for code in self.status_counts
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["all_2xx"] = self.all_2xx
+        return d
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    timeout: float = _CLIENT_TIMEOUT_S,
+) -> tuple[int, bytes]:
+    """One ``Connection: close`` HTTP/1.1 exchange; returns (status, body)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Connection: close\r\n"
+        )
+        if body is not None:
+            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        writer.write(head.encode("ascii") + b"\r\n" + (body or b""))
+        await asyncio.wait_for(writer.drain(), timeout)
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        if length is not None:
+            payload = await asyncio.wait_for(reader.readexactly(length), timeout)
+        else:
+            payload = await asyncio.wait_for(reader.read(), timeout)
+        return status, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def discover_input_shape(host: str, port: int) -> tuple[int, ...]:
+    """Input shape from ``GET /healthz`` (raises if the server isn't ready)."""
+    status, body = await http_request(host, port, "GET", "/healthz")
+    info = json.loads(body)
+    if status != 200 or info.get("status") != "ready":
+        raise RuntimeError(f"server not ready: HTTP {status} {info.get('status')!r}")
+    return tuple(info["input_shape"])
+
+
+def make_payload(
+    shape: tuple[int, ...], images_per_request: int, seed: int, ret: str = "classes"
+) -> bytes:
+    """Deterministic request body: uniform [0, 1) pixels from ``seed``."""
+    rng = random.Random(seed)
+    n_pix = 1
+    for d in shape:
+        n_pix *= d
+
+    def nest(flat: list[float], dims: tuple[int, ...]):
+        if len(dims) == 1:
+            return flat
+        step = len(flat) // dims[0]
+        return [nest(flat[i * step : (i + 1) * step], dims[1:]) for i in range(dims[0])]
+
+    images = [
+        nest([round(rng.random(), 4) for _ in range(n_pix)], shape)
+        for _ in range(images_per_request)
+    ]
+    return json.dumps({"images": images, "return": ret}).encode("ascii")
+
+
+async def run_load(
+    host: str,
+    port: int,
+    rps: float,
+    duration_s: float,
+    images_per_request: int = 1,
+    concurrency: int = 256,
+    seed: int = 0,
+    ret: str = "classes",
+    payload: bytes | None = None,
+    timeout: float = _CLIENT_TIMEOUT_S,
+) -> LoadReport:
+    """Open-loop run: ``rps * duration_s`` requests on a fixed schedule.
+
+    ``concurrency`` only bounds simultaneous sockets (a safety valve
+    against fd exhaustion); arrival times stay open-loop, so time spent
+    waiting for a slot is counted in that request's latency.
+    """
+    if payload is None:
+        shape = await discover_input_shape(host, port)
+        payload = make_payload(shape, images_per_request, seed, ret)
+    total = max(1, int(round(rps * duration_s)))
+    sem = asyncio.Semaphore(concurrency)
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    latencies: list[float] = []
+    status_counts: dict[str, int] = {}
+    errors = 0
+
+    async def one(i: int) -> None:
+        nonlocal errors
+        target = t0 + i / rps
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        start = loop.time()
+        async with sem:
+            try:
+                status, _ = await http_request(
+                    host, port, "POST", "/v1/predict", payload, timeout
+                )
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+                errors += 1
+                return
+        latencies.append(loop.time() - start)
+        key = str(status)
+        status_counts[key] = status_counts.get(key, 0) + 1
+
+    await asyncio.gather(*(one(i) for i in range(total)))
+    elapsed = max(loop.time() - t0, 1e-9)
+    latencies.sort()
+    completed = len(latencies)
+    return LoadReport(
+        offered_rps=rps,
+        duration_s=round(elapsed, 3),
+        images_per_request=images_per_request,
+        sent=total,
+        completed=completed,
+        errors=errors,
+        status_counts=dict(sorted(status_counts.items())),
+        achieved_rps=round(completed / elapsed, 2),
+        images_per_sec=round(completed * images_per_request / elapsed, 2),
+        latency_p50_ms=round(percentile(latencies, 0.50) * 1e3, 2),
+        latency_p95_ms=round(percentile(latencies, 0.95) * 1e3, 2),
+        latency_p99_ms=round(percentile(latencies, 0.99) * 1e3, 2),
+        latency_mean_ms=round(sum(latencies) / completed * 1e3, 2) if completed else 0.0,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--rps", type=float, default=20.0, help="offered request rate")
+    parser.add_argument("--duration", type=float, default=3.0, help="seconds")
+    parser.add_argument("--images-per-request", type=int, default=1)
+    parser.add_argument("--concurrency", type=int, default=256,
+                        help="max simultaneous sockets (open-loop arrivals regardless)")
+    parser.add_argument("--return", dest="ret", choices=("classes", "logits", "both"),
+                        default="classes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=_CLIENT_TIMEOUT_S)
+    parser.add_argument("--json-out", default=None, help="write the report here as JSON")
+    parser.add_argument("--expect-all-2xx", action="store_true",
+                        help="exit 1 unless every request completed with a 2xx")
+    args = parser.parse_args(argv)
+
+    t_wall = time.perf_counter()
+    report = asyncio.run(
+        run_load(
+            args.host,
+            args.port,
+            args.rps,
+            args.duration,
+            images_per_request=args.images_per_request,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            ret=args.ret,
+            timeout=args.timeout,
+        )
+    )
+    print(
+        f"offered {report.offered_rps:g} rps for {report.duration_s:g}s: "
+        f"{report.completed}/{report.sent} completed ({report.errors} errors), "
+        f"{report.achieved_rps:g} rps achieved, statuses {report.status_counts}"
+    )
+    print(
+        f"latency ms: p50 {report.latency_p50_ms:g}  p95 {report.latency_p95_ms:g}  "
+        f"p99 {report.latency_p99_ms:g}  mean {report.latency_mean_ms:g}  "
+        f"(wall {time.perf_counter() - t_wall:.2f}s)"
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.expect_all_2xx and not report.all_2xx:
+        print("ERROR: non-2xx responses or client errors under --expect-all-2xx")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

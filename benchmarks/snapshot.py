@@ -1,6 +1,6 @@
 """Benchmark snapshots pinned to JSON at the repo root.
 
-Two suites:
+Three suites:
 
 * ``--suite pr2`` (default) — stepped-vs-vectorized kernel timings
   (:mod:`repro.core.kernels`) written to ``BENCH_PR2.json``;
@@ -8,11 +8,16 @@ Two suites:
   engine (:mod:`repro.parallel`) on the network-performance workload,
   written to ``BENCH_PR3.json``: images/second of the serial reference
   vs the batched engine at worker counts 0/1/2/4, each point verified
-  bit-exact against the serial path.
+  bit-exact against the serial path;
+* ``--suite pr4`` — serving-plane load curves (:mod:`repro.serve`)
+  written to ``BENCH_PR4.json``: throughput and p50/p99 latency vs
+  offered load through the HTTP micro-batching service at 1/2/4
+  workers, plus a ragged-request parity phase checking served classes
+  bit-exactly against serial ``Network.predict``.
 
 Run from the repo root:
 
-    PYTHONPATH=src python benchmarks/snapshot.py [--suite pr2|pr3]
+    PYTHONPATH=src python benchmarks/snapshot.py [--suite pr2|pr3|pr4]
         [--repeats N] [--out FILE]
 
 The PR2 JSON also carries the tier-1 wall-clock numbers (measured with
@@ -255,6 +260,170 @@ def bench_batch_throughput(
     }
 
 
+def bench_serving(
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    offered_loads: tuple[float, ...] = (25.0, 50.0, 100.0),
+    duration_s: float = 2.0,
+    images_per_request: int = 2,
+) -> dict:
+    """Load curves + parity phase for the HTTP serving plane.
+
+    Each worker count gets its own in-process :class:`ServingServer`
+    (ephemeral port) hit by the open-loop generator from
+    :mod:`loadgen` at every offered load.  The parity phase then replays
+    the digits test set through ``POST /v1/predict`` in ragged request
+    sizes — so the micro-batcher actually coalesces across request
+    boundaries — and diffs the served classes against serial
+    ``Network.predict`` at the engine's shard chunking.
+    """
+    import asyncio
+
+    from loadgen import http_request, make_payload, run_load
+    from repro.experiments.network_performance import prediction_mismatch
+    from repro.serve import ServerConfig, ServingServer
+
+    serve_knobs = {
+        "max_batch": 32,
+        "max_wait_ms": 25.0,
+        "queue_depth": 256,
+        "shard_batch": 16,
+    }
+
+    def config_for(workers: int) -> ServerConfig:
+        return ServerConfig(
+            port=0,
+            workers=workers,
+            max_batch=serve_knobs["max_batch"],
+            max_wait_ms=serve_knobs["max_wait_ms"],
+            queue_depth=serve_knobs["queue_depth"],
+            shard_batch=serve_knobs["shard_batch"],
+        )
+
+    async def curve_for(workers: int) -> list[dict]:
+        server = ServingServer(config_for(workers))
+        await server.start()
+        try:
+            payload = make_payload(server.input_shape, images_per_request, seed=0)
+            points = []
+            for rps in offered_loads:
+                report = await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    rps,
+                    duration_s,
+                    images_per_request=images_per_request,
+                    payload=payload,
+                )
+                entry = report.to_dict()
+                entry["workers"] = workers
+                points.append(entry)
+                print(
+                    f"workers={workers} offered={rps:>6.1f} rps: "
+                    f"{entry['achieved_rps']:>7.2f} rps "
+                    f"({entry['images_per_sec']:.1f} img/s)  "
+                    f"p50 {entry['latency_p50_ms']:g}ms  "
+                    f"p99 {entry['latency_p99_ms']:g}ms  "
+                    f"statuses {entry['status_counts']}"
+                )
+            return points
+        finally:
+            await server.drain_and_stop()
+
+    async def parity_phase(workers: int = 2, n_images: int = 48) -> dict:
+        import numpy as np
+
+        server = ServingServer(config_for(workers))
+        await server.start()
+        try:
+            from repro.experiments.common import DIGITS_QUICK_SPEC, get_trained_model
+
+            x = get_trained_model(DIGITS_QUICK_SPEC).dataset.x_test[:n_images]
+            sizes = []
+            for size in (1, 3, 7, 2, 16, 5, 8, 6, 4, 9):
+                if sum(sizes) + size > x.shape[0]:
+                    break
+                sizes.append(size)
+            offsets = [sum(sizes[:i]) for i in range(len(sizes))]
+
+            async def send(off: int, size: int) -> list[int]:
+                body = json.dumps(
+                    {"images": x[off : off + size].tolist(), "return": "classes"}
+                ).encode("ascii")
+                status, payload = await http_request(
+                    "127.0.0.1", server.port, "POST", "/v1/predict", body
+                )
+                if status != 200:
+                    raise RuntimeError(f"parity request got HTTP {status}: {payload!r}")
+                return json.loads(payload)["classes"]
+
+            served = await asyncio.gather(
+                *(send(off, size) for off, size in zip(offsets, sizes))
+            )
+            # Serial reference per request at the shard chunking — the
+            # exact contract the grouped scheduler promises.
+            net = server.engine.net
+            expected = [
+                net.predict(x[off : off + size], batch=serve_knobs["shard_batch"])
+                for off, size in zip(offsets, sizes)
+            ]
+            mismatch = prediction_mismatch(
+                np.concatenate([np.asarray(s) for s in served]),
+                np.concatenate(expected),
+            )
+            return {
+                "workers": workers,
+                "n_images": int(sum(sizes)),
+                "request_sizes": sizes,
+                "bit_exact": mismatch is None,
+                "mismatch": mismatch,
+            }
+        finally:
+            await server.drain_and_stop()
+
+    async def drive() -> dict:
+        curves = []
+        for workers in worker_counts:
+            curves.extend(await curve_for(workers))
+        parity = await parity_phase()
+        print(
+            f"parity: workers={parity['workers']} "
+            f"{parity['n_images']} images in {len(parity['request_sizes'])} "
+            f"ragged requests, bit_exact={parity['bit_exact']}"
+        )
+        return {"curves": curves, "parity": parity}
+
+    result = asyncio.run(drive())
+    return {
+        "workload": (
+            "digits-quick / proposed-sc N=8 served over HTTP "
+            f"(micro-batching, {images_per_request} images/request, "
+            "open-loop offered load)"
+        ),
+        "config": dict(serve_knobs, duration_s=duration_s),
+        **result,
+    }
+
+
+def _run_pr4(args: argparse.Namespace) -> int:
+    out = args.out or Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+    result = bench_serving()
+    report = {
+        "schema": "bench-pr4/v1",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "serving": result,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not result["parity"]["bit_exact"]:
+        print("ERROR: served predictions diverged from serial Network.predict")
+        return 1
+    return 0
+
+
 def _run_pr3(args: argparse.Namespace) -> int:
     out = args.out or Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
     result = bench_batch_throughput(args.repeats)
@@ -283,7 +452,7 @@ def _run_pr3(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("pr2", "pr3"), default="pr2")
+    parser.add_argument("--suite", choices=("pr2", "pr3", "pr4"), default="pr2")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--tier1-seconds", type=float, default=None,
                         help="measured tier-1 wall-clock to record (seconds)")
@@ -292,6 +461,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.suite == "pr3":
         return _run_pr3(args)
+    if args.suite == "pr4":
+        return _run_pr4(args)
     args.out = args.out or Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
     kernels = {}

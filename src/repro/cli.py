@@ -5,6 +5,7 @@ Commands
 ``multiply``   one signed BISC multiply with its trace and latency
 ``experiment`` run a named experiment harness (or ``all``)
 ``infer``      timed batched SC inference (sharded process-pool engine)
+``serve``      async HTTP inference service (micro-batching + /metrics)
 ``rtl``        emit the Verilog RTL project
 ``info``       version, experiment list, benchmark specs
 ``cache``      inspect/verify/clear the checkpoint artifact store
@@ -68,6 +69,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true", help="verify bit-exactness against the serial path"
     )
     p_inf.add_argument("--repeats", type=int, default=1, help="timed repeats (min is kept)")
+
+    p_srv = sub.add_parser("serve", help="async HTTP inference service over the batch engine")
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="engine pool size (0 = in-process sharding with the schedule cache)",
+    )
+    p_srv.add_argument("--max-batch", type=int, default=32, help="images per coalesced batch")
+    p_srv.add_argument(
+        "--max-wait-ms", type=float, default=5.0, help="micro-batch coalescing window"
+    )
+    p_srv.add_argument(
+        "--queue-depth", type=int, default=64, help="admission bound (excess gets HTTP 429)"
+    )
+    p_srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (HTTP 504 on expiry; omit for none)",
+    )
+    p_srv.add_argument("--benchmark", choices=("digits", "shapes"), default="digits")
+    p_srv.add_argument("--engine", default="proposed-sc", help="conv arithmetic")
+    p_srv.add_argument("--n-bits", type=int, default=8, help="precision incl. sign")
+    p_srv.add_argument(
+        "--batch", type=int, default=16, help="images per engine shard (parity chunk size)"
+    )
+    p_srv.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for scripts and CI)",
+    )
 
     p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
     p_rtl.add_argument("--out", default="rtl", help="output directory")
@@ -170,9 +205,36 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         f"in {result.seconds:.3f}s — {result.images_per_sec:.1f} img/s ({mode})"
     )
     if args.check:
-        print(f"bit-exact vs serial: {'OK' if result.bit_exact else 'MISMATCH'}")
-        return 0 if result.bit_exact else 1
+        if result.bit_exact:
+            print("bit-exact vs serial: OK")
+            return 0
+        from repro.experiments.network_performance import format_mismatch
+
+        print("bit-exact vs serial: MISMATCH")
+        if result.mismatch:
+            print(f"  {format_mismatch(result.mismatch)}")
+        return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        benchmark=args.benchmark,
+        engine=args.engine,
+        n_bits=args.n_bits,
+        shard_batch=args.batch,
+        port_file=args.port_file,
+    )
+    return run_server(config)
 
 
 def _cmd_rtl(args: argparse.Namespace) -> int:
@@ -240,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
         "multiply": _cmd_multiply,
         "experiment": _cmd_experiment,
         "infer": _cmd_infer,
+        "serve": _cmd_serve,
         "rtl": _cmd_rtl,
         "info": _cmd_info,
         "cache": _cmd_cache,

@@ -29,7 +29,15 @@ from repro.experiments.common import (
 )
 from repro.hw.performance import NetworkProfile, profile_network
 
-__all__ = ["run", "main", "ThroughputResult", "measure_throughput", "throughput_curve"]
+__all__ = [
+    "run",
+    "main",
+    "ThroughputResult",
+    "prediction_mismatch",
+    "format_mismatch",
+    "measure_throughput",
+    "throughput_curve",
+]
 
 _INPUT_SHAPES = {"digits": (1, 28, 28), "shapes": (3, 32, 32)}
 
@@ -66,9 +74,56 @@ class ThroughputResult:
     seconds: float
     images_per_sec: float
     bit_exact: bool | None = None
+    mismatch: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+def prediction_mismatch(
+    pred: np.ndarray, expected: np.ndarray, max_examples: int = 8
+) -> dict | None:
+    """Diff summary between two prediction vectors (``None`` if equal).
+
+    Returns ``{"count", "total", "first"}`` where ``first`` lists up to
+    ``max_examples`` diverging positions as ``{"index", "got",
+    "expected"}`` — the payload behind ``repro infer --check`` and the
+    serve parity gate, so a parity failure prints *where* it diverged,
+    not just that it did.
+    """
+    pred = np.asarray(pred)
+    expected = np.asarray(expected)
+    if pred.shape != expected.shape:
+        return {
+            "count": max(pred.shape[0] if pred.ndim else 0, 1),
+            "total": int(expected.shape[0] if expected.ndim else 1),
+            "first": [],
+            "shape_mismatch": [list(pred.shape), list(expected.shape)],
+        }
+    if np.array_equal(pred, expected):
+        return None
+    idx = np.flatnonzero(pred != expected)
+    return {
+        "count": int(idx.size),
+        "total": int(pred.shape[0]),
+        "first": [
+            {"index": int(i), "got": int(pred[i]), "expected": int(expected[i])}
+            for i in idx[:max_examples]
+        ],
+    }
+
+
+def format_mismatch(mismatch: dict) -> str:
+    """One-line human rendering of a :func:`prediction_mismatch` dict."""
+    if "shape_mismatch" in mismatch:
+        got, exp = mismatch["shape_mismatch"]
+        return f"shape mismatch: got {got}, expected {exp}"
+    head = ", ".join(
+        f"[{d['index']}] got {d['got']} expected {d['expected']}"
+        for d in mismatch["first"]
+    )
+    suffix = ", ..." if mismatch["count"] > len(mismatch["first"]) else ""
+    return f"{mismatch['count']}/{mismatch['total']} predictions differ: {head}{suffix}"
 
 
 def _workload(spec: BenchmarkSpec, engine: str, n_bits: int, n_images: int):
@@ -117,9 +172,11 @@ def measure_throughput(
         pred = model.net.predict(x, parallelism=parallelism)
         best = min(best, time.perf_counter() - t0)
     bit_exact = None
+    mismatch = None
     if check:
         serial = model.net.predict(x, batch=batch_size or x.shape[0] or 1)
-        bit_exact = bool(np.array_equal(pred, serial))
+        mismatch = prediction_mismatch(pred, serial)
+        bit_exact = mismatch is None
     model.restore_float()
     return ThroughputResult(
         dataset=spec.dataset,
@@ -132,6 +189,7 @@ def measure_throughput(
         seconds=best,
         images_per_sec=n_images / best if best > 0 else float("inf"),
         bit_exact=bit_exact,
+        mismatch=mismatch,
     )
 
 

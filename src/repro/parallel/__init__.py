@@ -11,9 +11,11 @@ from repro.parallel.cache import ScheduleCache, get_worker_cache, reset_worker_c
 from repro.parallel.engine import (
     BatchInferenceEngine,
     ParallelConfig,
+    group_shards,
     parallel_matmul,
     predict_batched,
     predict_logits,
+    predict_logits_grouped,
     resolve_parallelism,
 )
 from repro.parallel.scheduler import BatchScheduler, Shard
@@ -32,6 +34,8 @@ __all__ = [
     "resolve_parallelism",
     "predict_logits",
     "predict_batched",
+    "predict_logits_grouped",
+    "group_shards",
     "parallel_matmul",
     "BatchInferenceEngine",
 ]

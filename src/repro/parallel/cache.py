@@ -46,13 +46,17 @@ _F32_EXACT_BOUND = 1 << 24
 class ScheduleCache:
     """Process-local memo of schedules and per-layer coefficient loads."""
 
-    def __init__(self, max_layers: int = 32) -> None:
+    def __init__(self, max_layers: int = 32, hook=None) -> None:
         self.max_layers = max_layers
         self._bit_tables: dict[int, np.ndarray] = {}
         self._selects: dict[tuple[int, int], np.ndarray] = {}
         self._layers: OrderedDict[tuple, tuple] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: optional observer ``hook("hit" | "miss")`` fired on every
+        #: layer-coefficient lookup.  The serving layer points this at
+        #: its metrics counters; it must be cheap and must not raise.
+        self.hook = hook
 
     # -- small schedule memos ---------------------------------------------
     def bit_table(self, n_bits: int) -> np.ndarray:
@@ -92,8 +96,12 @@ class ScheduleCache:
         if cached is not None:
             self._layers.move_to_end(key)
             self.hits += 1
+            if self.hook is not None:
+                self.hook("hit")
             return cached
         self.misses += 1
+        if self.hook is not None:
+            self.hook("miss")
         m, d = w.shape
         k = np.abs(w)
         sign = np.where(w < 0, -1, 1).astype(np.int64)

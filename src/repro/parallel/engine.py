@@ -31,6 +31,7 @@ against; ``workers>=1`` uses the pool.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -38,7 +39,7 @@ import numpy as np
 
 from repro.parallel import worker as _worker
 from repro.parallel.cache import get_worker_cache
-from repro.parallel.scheduler import BatchScheduler
+from repro.parallel.scheduler import BatchScheduler, Shard
 from repro.parallel.shm import SharedArrayPool
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "resolve_parallelism",
     "predict_logits",
     "predict_batched",
+    "predict_logits_grouped",
+    "group_shards",
     "parallel_matmul",
     "BatchInferenceEngine",
 ]
@@ -155,6 +158,92 @@ def predict_batched(net, x: np.ndarray, parallelism=None) -> np.ndarray:
     return predict_logits(net, x, parallelism).argmax(axis=1)
 
 
+def group_shards(counts, batch_size: int) -> list[Shard]:
+    """Shards of a concatenated request group, chunked *within* requests.
+
+    ``counts`` are per-request image counts laid out back to back.  A
+    shard never spans a request boundary, and each request is chunked
+    from its own offset 0 in steps of ``batch_size`` (0 = whole
+    request) — exactly the chunks a direct ``predict_logits`` call on
+    that request alone would forward.  This is what makes micro-batched
+    serving bit-exact per request: every shard's forward pass sees the
+    same array content no matter which requests were coalesced with it.
+    """
+    if batch_size < 0:
+        raise ValueError("chunk sizes must be >= 0")
+    shards: list[Shard] = []
+    offset = 0
+    for n in counts:
+        n = int(n)
+        if n < 0:
+            raise ValueError("request sizes must be >= 0")
+        step = batch_size or max(n, 1)
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            shards.append(Shard(len(shards), (offset + lo, offset + hi), (0, 1)))
+        offset += n
+    return shards
+
+
+def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
+    """Logits for a group of request batches in one engine call.
+
+    ``xs`` is a list of per-request image arrays.  The group is
+    evaluated as a single pool dispatch (one shared-memory round, one
+    pool submission wave) but sharded at request boundaries, so
+
+        predict_logits_grouped(net, [a, b], cfg)
+            == [predict_logits(net, a, cfg), predict_logits(net, b, cfg)]
+
+    bit-exactly, for any way requests are coalesced.  This is the
+    execution primitive of the serving micro-batcher.
+    """
+    config = resolve_parallelism(parallelism)
+    xs = [np.asarray(x) for x in xs]
+    if not xs:
+        return []
+    tails = {x.shape[1:] for x in xs}
+    if len(tails) != 1:
+        raise ValueError(f"requests disagree on image shape: {sorted(map(str, tails))}")
+    counts = [x.shape[0] for x in xs]
+    bounds = np.cumsum([0] + counts)
+    n = int(bounds[-1])
+    n_out = _n_outputs(net)
+    out = np.empty((n, n_out), dtype=np.float64)
+    shards = group_shards(counts, config.batch_size)
+    if n == 0 or not shards:
+        return [out[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
+    x = np.concatenate(xs) if len(xs) > 1 else xs[0]
+
+    if config.workers == 0:
+        restore = _attach_caches_inproc(net, config)
+        try:
+            for shard in shards:
+                out[shard.image_slice] = _worker.forward_logits(net, x[shard.image_slice])
+        finally:
+            restore()
+        return [out[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+    with SharedArrayPool() as pool:
+        skel, state = _worker.net_skeleton(net)
+        weight_specs = [pool.share(f"w{i}", p) for i, p in enumerate(state)]
+        x_spec = pool.share("x", np.ascontiguousarray(x))
+        out_spec = pool.alloc("out", (n, n_out), np.float64)
+        ctx = config.context()
+        with ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=ctx,
+            initializer=_worker.init_network_worker,
+            initargs=(skel, weight_specs, x_spec, out_spec, config.use_cache),
+        ) as executor:
+            futures = [executor.submit(_worker.run_network_shard, s) for s in shards]
+            indices = sorted(f.result() for f in futures)
+        if indices != [s.index for s in shards]:  # pragma: no cover - defensive
+            raise RuntimeError("shard reassembly mismatch")
+        result = pool.array("out")
+        return [result[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
 def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> np.ndarray:
     """``engine.matmul(w, x)`` sharded over the (tiles x columns) grid."""
     config = resolve_parallelism(parallelism)
@@ -226,17 +315,45 @@ class BatchInferenceEngine:
 
         engine = BatchInferenceEngine(net, ParallelConfig(workers=4))
         labels = engine.predict(x)
+
+    ``hooks`` is a small observability protocol: each entry is a
+    callable ``hook(n_images, seconds, workers)`` invoked after every
+    engine dispatch.  The serving layer registers its metrics adapter
+    here; the engine itself stays importable without :mod:`repro.serve`
+    (hooks are plain callables, no serve types involved).
     """
 
-    def __init__(self, net, config: ParallelConfig | int | None = None) -> None:
+    def __init__(
+        self, net, config: ParallelConfig | int | None = None, hooks=()
+    ) -> None:
         self.net = net
         self.config = resolve_parallelism(config)
+        self.hooks = list(hooks)
+
+    def add_hook(self, hook) -> None:
+        """Register a ``hook(n_images, seconds, workers)`` observer."""
+        self.hooks.append(hook)
+
+    def _notify(self, n_images: int, seconds: float) -> None:
+        for hook in self.hooks:
+            hook(n_images, seconds, self.config.workers)
 
     def logits(self, x: np.ndarray) -> np.ndarray:
-        return predict_logits(self.net, x, self.config)
+        t0 = time.perf_counter()
+        out = predict_logits(self.net, x, self.config)
+        self._notify(int(np.asarray(x).shape[0]), time.perf_counter() - t0)
+        return out
+
+    def logits_grouped(self, xs) -> list[np.ndarray]:
+        """Per-request logits for a coalesced group (micro-batching)."""
+        t0 = time.perf_counter()
+        out = predict_logits_grouped(self.net, xs, self.config)
+        n = sum(int(np.asarray(x).shape[0]) for x in xs)
+        self._notify(n, time.perf_counter() - t0)
+        return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        return predict_batched(self.net, x, self.config)
+        return self.logits(x).argmax(axis=1)
 
     def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
         return float((self.predict(x) == np.asarray(labels)).mean())

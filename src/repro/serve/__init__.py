@@ -1,0 +1,57 @@
+"""Async SC-CNN inference service over the sharded batch engine.
+
+The serving plane in four layers, composed by :class:`ServingServer`:
+
+* :mod:`repro.serve.metrics` — lock-free counters/histograms and the
+  Prometheus ``/metrics`` exposition;
+* :mod:`repro.serve.batcher` — dynamic micro-batching of in-flight
+  requests into bit-exact grouped engine dispatches;
+* :mod:`repro.serve.service` — bounded admission with backpressure,
+  per-request deadlines, and graceful drain;
+* :mod:`repro.serve.http` — the stdlib asyncio HTTP/1.1 front end
+  (``POST /v1/predict``, ``GET /healthz``, ``GET /metrics``).
+
+Start one from the CLI with ``repro serve``; see ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.http import (
+    ServerConfig,
+    ServingServer,
+    build_engine,
+    get_active_server,
+    run_server,
+)
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+from repro.serve.service import (
+    DeadlineExceededError,
+    InferenceService,
+    QueueFullError,
+    ServiceError,
+    ShuttingDownError,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "ServerConfig",
+    "ServingServer",
+    "build_engine",
+    "get_active_server",
+    "run_server",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "InferenceService",
+    "ServiceError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ShuttingDownError",
+]

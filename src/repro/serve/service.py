@@ -1,0 +1,145 @@
+"""Admission control around the micro-batcher: backpressure, deadlines, drain.
+
+The service is the policy layer between the HTTP front end and the
+batcher.  It enforces three rules:
+
+* **backpressure** — at most ``queue_depth`` requests may be in flight;
+  request number ``queue_depth + 1`` is refused with
+  :class:`QueueFullError` (HTTP 429 + ``Retry-After``) instead of
+  growing an unbounded queue;
+* **deadlines** — a request carries a deadline (its own, or the
+  configured default); expiry raises :class:`DeadlineExceededError`
+  (HTTP 504).  An expired request that is still queued is skipped by
+  the batcher, so it costs no engine work;
+* **drain** — :meth:`drain` stops admission (new requests get
+  :class:`ShuttingDownError`, HTTP 503) and then flushes every
+  *accepted* request through the batcher before returning, so a
+  SIGTERM never drops admitted work.
+
+Admission check and enqueue happen without an intervening ``await``,
+so on a single event loop an admitted request is always enqueued
+before a concurrently-started drain pushes its sentinel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = [
+    "ServiceError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ShuttingDownError",
+    "InferenceService",
+]
+
+
+class ServiceError(Exception):
+    """Base of all admission-layer refusals."""
+
+
+class QueueFullError(ServiceError):
+    """Admission queue at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        super().__init__(f"admission queue full ({depth} in flight)")
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired before a result was ready."""
+
+
+class ShuttingDownError(ServiceError):
+    """The service is draining and no longer accepts requests."""
+
+
+class InferenceService:
+    """Bounded-admission wrapper over one :class:`MicroBatcher`."""
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        queue_depth: int = 64,
+        default_deadline_ms: float | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.batcher = batcher
+        self.queue_depth = queue_depth
+        self.default_deadline_ms = default_deadline_ms
+        self.metrics = metrics or batcher.metrics
+        self.inflight = 0
+        self.accepted = 0
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        await self.batcher.start()
+        self.metrics.ready.set(1)
+
+    @property
+    def ready(self) -> bool:
+        return self.batcher.is_running and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Refuse new work, flush all accepted requests, stop the batcher."""
+        self._draining = True
+        self.metrics.ready.set(0)
+        await self.batcher.drain()
+
+    # -- the request path --------------------------------------------------
+    @property
+    def retry_after_s(self) -> float:
+        """Advisory backoff: roughly one full queue turn of batching."""
+        turns = max(1, self.queue_depth) * self.batcher.max_wait_ms / 1000.0
+        return max(1.0, round(turns, 1))
+
+    async def predict(self, x, deadline_ms: float | None = None):
+        """One request through admission, batching, and the engine.
+
+        Returns the request's own result (per-request logits array).
+        Raises one of the :class:`ServiceError` subclasses on refusal.
+        """
+        m = self.metrics
+        if self._draining or not self.batcher.is_running:
+            m.rejected_total.inc(1.0, "shutdown")
+            raise ShuttingDownError("service is draining")
+        if self.inflight >= self.queue_depth:
+            m.rejected_total.inc(1.0, "backpressure")
+            raise QueueFullError(self.inflight, self.retry_after_s)
+        m.queue_depth.observe(self.inflight)
+        # No await between the check above and the enqueue below: the
+        # admitted request is in the batcher before a drain can start.
+        future = self.batcher.submit(x)
+        self.inflight += 1
+        self.accepted += 1
+        m.inflight.inc()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        try:
+            if deadline_ms is None:
+                result = await future
+            else:
+                try:
+                    result = await asyncio.wait_for(future, deadline_ms / 1000.0)
+                except (asyncio.TimeoutError, TimeoutError):
+                    m.rejected_total.inc(1.0, "deadline")
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline_ms:g} ms expired"
+                    ) from None
+            m.request_latency.observe(loop.time() - t0)
+            return result
+        finally:
+            self.inflight -= 1
+            m.inflight.dec()

@@ -1,0 +1,198 @@
+"""Micro-batcher invariants: nothing lost, nothing duplicated, FIFO, bounded.
+
+The hypothesis property drives ragged request sizes and arrival gaps
+through a real event loop and checks the batcher's whole contract at
+once; the fixed tests pin each flush trigger and failure mode
+individually.  Requests are id-encoded (request *i* is an array filled
+with ``i``) so a mis-scattered result is always visible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import MicroBatcher
+
+
+def id_array(i: int, size: int) -> np.ndarray:
+    return np.full((size, 3), float(i))
+
+
+def echo_runner(calls):
+    """Runner returning each request's own array + 0.5, recording groups."""
+
+    def run(xs):
+        calls.append([x.copy() for x in xs])
+        return [x + 0.5 for x in xs]
+
+    return run
+
+
+async def drive(sizes, gaps, max_batch, max_wait_ms=2.0):
+    """Submit id-encoded requests with the given inter-arrival sleeps."""
+    calls: list[list[np.ndarray]] = []
+    batcher = MicroBatcher(
+        echo_runner(calls), max_batch_size=max_batch, max_wait_ms=max_wait_ms
+    )
+    await batcher.start()
+    futures = []
+    for i, size in enumerate(sizes):
+        futures.append(batcher.submit(id_array(i, size)))
+        if gaps[i % len(gaps)]:
+            await asyncio.sleep(0.004)
+    results = await asyncio.gather(*futures)
+    await batcher.drain()
+    return calls, results
+
+
+class TestInvariants:
+    @given(
+        sizes=st.lists(st.integers(1, 9), min_size=1, max_size=10),
+        gaps=st.lists(st.booleans(), min_size=1, max_size=4),
+        max_batch=st.integers(1, 16),
+    )
+    @settings(max_examples=30)
+    def test_no_loss_no_dup_fifo_bounded(self, sizes, gaps, max_batch):
+        calls, results = asyncio.run(drive(sizes, gaps, max_batch))
+
+        # Every request resolves to exactly its own result, bit-exact.
+        assert len(results) == len(sizes)
+        for i, (size, res) in enumerate(zip(sizes, results)):
+            assert np.array_equal(res, id_array(i, size) + 0.5)
+
+        # FIFO across and within groups: the flattened dispatch order is
+        # the submission order, each request exactly once.
+        seen = [int(x[0, 0]) for group in calls for x in group]
+        assert seen == list(range(len(sizes)))
+
+        # A group never exceeds max_batch images unless it is a single
+        # oversized request dispatched alone.
+        for group in calls:
+            total = sum(x.shape[0] for x in group)
+            assert total <= max_batch or len(group) == 1
+
+
+class TestFlushTriggers:
+    def test_full_flush_dispatches_immediately(self):
+        async def run():
+            calls = []
+            b = MicroBatcher(echo_runner(calls), max_batch_size=4, max_wait_ms=10_000)
+            await b.start()
+            futures = [b.submit(id_array(i, 2)) for i in (0, 1)]
+            await asyncio.gather(*futures)  # resolves despite the huge wait
+            await b.drain()
+            assert [x.shape[0] for x in calls[0]] == [2, 2]
+            assert b.metrics.batch_flush_total.value("full") == 1.0
+
+        asyncio.run(run())
+
+    def test_timeout_flush_when_group_stays_partial(self):
+        async def run():
+            calls = []
+            b = MicroBatcher(echo_runner(calls), max_batch_size=64, max_wait_ms=5.0)
+            await b.start()
+            res = await b.submit(id_array(0, 1))
+            assert np.array_equal(res, id_array(0, 1) + 0.5)
+            assert b.metrics.batch_flush_total.value("timeout") == 1.0
+            await b.drain()
+
+        asyncio.run(run())
+
+    def test_oversized_request_dispatched_alone(self):
+        async def run():
+            calls = []
+            b = MicroBatcher(echo_runner(calls), max_batch_size=4, max_wait_ms=1.0)
+            await b.start()
+            await b.submit(id_array(0, 9))
+            await b.drain()
+            assert [x.shape[0] for x in calls[0]] == [9]
+
+        asyncio.run(run())
+
+    def test_overflow_request_held_for_next_group(self):
+        async def run():
+            calls = []
+            b = MicroBatcher(echo_runner(calls), max_batch_size=4, max_wait_ms=50.0)
+            await b.start()
+            futures = [b.submit(id_array(i, 3)) for i in range(2)]
+            await asyncio.gather(*futures)
+            await b.drain()
+            # 3 + 3 > 4: the second request must not ride in group one.
+            assert [[x.shape[0] for x in g] for g in calls] == [[3], [3]]
+
+        asyncio.run(run())
+
+
+class TestLifecycleAndErrors:
+    def test_submit_before_start_and_after_drain_rejected(self):
+        async def run():
+            b = MicroBatcher(echo_runner([]), max_batch_size=4)
+            with pytest.raises(RuntimeError):
+                b.submit(id_array(0, 1))
+            await b.start()
+            await b.drain()
+            with pytest.raises(RuntimeError):
+                b.submit(id_array(0, 1))
+
+        asyncio.run(run())
+
+    def test_drain_flushes_everything_queued(self):
+        async def run():
+            release = threading.Event()
+            calls = []
+
+            def slow(xs):
+                release.wait(2.0)
+                calls.append(list(xs))
+                return [x + 0.5 for x in xs]
+
+            b = MicroBatcher(slow, max_batch_size=2, max_wait_ms=1.0)
+            await b.start()
+            futures = [b.submit(id_array(i, 1)) for i in range(5)]
+            await asyncio.sleep(0.01)  # first group is now blocked in-runner
+            release.set()
+            drain = asyncio.create_task(b.drain())
+            results = await asyncio.gather(*futures)
+            await drain
+            for i, res in enumerate(results):
+                assert np.array_equal(res, id_array(i, 1) + 0.5)
+            assert b.depth == 0
+
+        asyncio.run(run())
+
+    def test_runner_exception_fans_out_to_whole_group(self):
+        async def run():
+            def boom(xs):
+                raise ValueError("engine on fire")
+
+            b = MicroBatcher(boom, max_batch_size=8, max_wait_ms=1.0)
+            await b.start()
+            futures = [b.submit(id_array(i, 1)) for i in range(3)]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(isinstance(r, ValueError) for r in results)
+            await b.drain()
+
+        asyncio.run(run())
+
+    def test_runner_length_mismatch_is_an_error(self):
+        async def run():
+            b = MicroBatcher(lambda xs: [xs[0]], max_batch_size=8, max_wait_ms=1.0)
+            await b.start()
+            futures = [b.submit(id_array(i, 1)) for i in range(2)]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            await b.drain()
+
+        asyncio.run(run())
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda xs: xs, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda xs: xs, max_wait_ms=-1.0)

@@ -1,0 +1,314 @@
+"""HTTP front end: routing, status codes, parity, drain — over real sockets.
+
+The bit-exactness tests run a genuine tiny SC net behind the server and
+compare served classes against serial ``Network.predict`` at the same
+shard chunking; protocol/status tests use a stub engine so they stay
+millisecond-fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import attach_engines, build_mnist_net
+from repro.nn.calibration import LayerRanges
+from repro.parallel import BatchInferenceEngine, ParallelConfig
+from repro.serve import ServerConfig, ServingServer
+
+SHARD = 4
+
+
+@pytest.fixture(scope="module")
+def net():
+    net = build_mnist_net(seed=3, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "proposed-sc", ranges, n_bits=8)
+    return net
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(11)
+    return rng.normal(0.0, 0.5, size=(5, 1, 28, 28))
+
+
+def real_factory(net):
+    def factory(config):
+        engine = BatchInferenceEngine(
+            net, ParallelConfig(workers=0, batch_size=SHARD)
+        )
+        return engine, (1, 28, 28), {"benchmark": "tiny"}
+
+    return factory
+
+
+class StubEngine:
+    """Engine double: fixed logits, optionally gated by an event."""
+
+    def __init__(self, behave=None):
+        self.config = ParallelConfig(workers=1)
+        self.behave = behave
+        self.hooks = []
+
+    def add_hook(self, hook):
+        self.hooks.append(hook)
+
+    def logits(self, x):
+        return np.zeros((x.shape[0], 3))
+
+    def logits_grouped(self, xs):
+        if self.behave is not None:
+            return self.behave(xs)
+        return [np.tile(np.array([0.1, 0.9, 0.2]), (x.shape[0], 1)) for x in xs]
+
+
+def stub_factory(behave=None):
+    def factory(config):
+        return StubEngine(behave), (2, 2), {"benchmark": "stub"}
+
+    return factory
+
+
+async def request(port, method, path, body=None, headers=()):
+    """One Connection: close exchange; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+    for name, value in headers:
+        head += f"{name}: {value}\r\n"
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode() + b"\r\n" + payload)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    resp_headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        resp_headers[name.strip().lower()] = value.strip()
+    length = int(resp_headers.get("content-length", 0))
+    data = await reader.readexactly(length) if length else b""
+    writer.close()
+    return status, resp_headers, data
+
+
+def with_server(factory, coro, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("max_wait_ms", 1.0)
+
+    async def run():
+        server = ServingServer(ServerConfig(**config_kwargs), engine_factory=factory)
+        await server.start()
+        try:
+            return await coro(server)
+        finally:
+            await server.drain_and_stop()
+
+    return asyncio.run(run())
+
+
+class TestPredictParity:
+    def test_served_classes_bit_exact_vs_serial(self, net, images):
+        async def check(server):
+            status, _, body = await request(
+                server.port, "POST", "/v1/predict",
+                {"images": images.tolist(), "return": "both"},
+            )
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["n"] == images.shape[0]
+            expected = net.predict(images, batch=SHARD)
+            assert doc["classes"] == expected.tolist()
+            assert np.asarray(doc["logits"]).shape == (images.shape[0], 10)
+            return doc
+
+        with_server(real_factory(net), check, shard_batch=SHARD)
+
+    def test_concurrent_ragged_requests_each_bit_exact(self, net, images):
+        async def check(server):
+            async def one(lo, hi):
+                status, _, body = await request(
+                    server.port, "POST", "/v1/predict",
+                    {"images": images[lo:hi].tolist()},
+                )
+                assert status == 200
+                return json.loads(body)["classes"]
+
+            served = await asyncio.gather(one(0, 2), one(2, 3), one(3, 5))
+            for (lo, hi), classes in zip(((0, 2), (2, 3), (3, 5)), served):
+                assert classes == net.predict(images[lo:hi], batch=SHARD).tolist()
+
+        with_server(real_factory(net), check, shard_batch=SHARD, max_wait_ms=20.0)
+
+    def test_single_image_auto_wrapped(self, net, images):
+        async def check(server):
+            status, _, body = await request(
+                server.port, "POST", "/v1/predict", {"images": images[0].tolist()}
+            )
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["n"] == 1
+            assert doc["classes"] == net.predict(images[:1], batch=SHARD).tolist()
+
+        with_server(real_factory(net), check, shard_batch=SHARD)
+
+
+class TestRoutingAndValidation:
+    def test_healthz_reports_readiness_and_model(self):
+        async def check(server):
+            status, _, body = await request(server.port, "GET", "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["status"] == "ready"
+            assert doc["model"]["benchmark"] == "stub"
+            assert doc["input_shape"] == [2, 2]
+            assert doc["n_outputs"] == 3
+
+        with_server(stub_factory(), check)
+
+    def test_metrics_endpoint_exposes_request_counters(self):
+        async def check(server):
+            await request(server.port, "POST", "/v1/predict", {"images": [[0, 0], [0, 0]]})
+            status, headers, body = await request(server.port, "GET", "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            text = body.decode()
+            assert '# TYPE repro_http_requests_total counter' in text
+            assert 'repro_http_requests_total{endpoint="/v1/predict",code="200"} 1' in text
+            assert "repro_batch_size_images_count 1" in text
+
+        with_server(stub_factory(), check)
+
+    def test_error_statuses(self):
+        async def check(server):
+            cases = [
+                ("GET", "/nope", None, (), 404),
+                ("GET", "/v1/predict", None, (), 405),
+                ("POST", "/healthz", {"x": 1}, (), 405),
+                ("POST", "/v1/predict", {"wrong": []}, (), 400),
+                ("POST", "/v1/predict", {"images": [[1, 2, 3]]}, (), 400),
+                ("POST", "/v1/predict", {"images": [[0, 0], [0, 0]], "return": "zebra"},
+                 (), 400),
+                ("POST", "/v1/predict", {"images": [[0, 0], [0, 0]]},
+                 (("x-deadline-ms", "soon"),), 400),
+            ]
+            for method, path, body, headers, expect in cases:
+                status, _, _ = await request(server.port, method, path, body, headers)
+                assert status == expect, (method, path, status)
+            # Raw garbage on the wire: 400, connection closed.
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"THIS IS NOT HTTP\r\n\r\n")
+            await writer.drain()
+            assert b"400" in await reader.readline()
+            writer.close()
+
+        with_server(stub_factory(), check)
+
+
+class TestOverloadAndDeadlines:
+    def test_saturated_queue_answers_429_with_retry_after(self):
+        release = threading.Event()
+
+        def gated(xs):
+            release.wait(5.0)
+            return [np.zeros((x.shape[0], 3)) for x in xs]
+
+        async def check(server):
+            image = {"images": [[0, 0], [0, 0]]}
+            first = asyncio.ensure_future(
+                request(server.port, "POST", "/v1/predict", image)
+            )
+            second = asyncio.ensure_future(
+                request(server.port, "POST", "/v1/predict", image)
+            )
+            await asyncio.sleep(0.05)  # both admitted; runner gated shut
+            status, headers, _ = await request(server.port, "POST", "/v1/predict", image)
+            assert status == 429
+            assert float(headers["retry-after"]) >= 1.0
+            release.set()
+            for status, _, _ in await asyncio.gather(first, second):
+                assert status == 200
+
+        with_server(stub_factory(gated), check, queue_depth=2, max_wait_ms=1.0)
+
+    def test_expired_deadline_answers_504(self):
+        release = threading.Event()
+
+        def gated(xs):
+            release.wait(5.0)
+            return [np.zeros((x.shape[0], 3)) for x in xs]
+
+        async def check(server):
+            status, _, body = await request(
+                server.port, "POST", "/v1/predict",
+                {"images": [[0, 0], [0, 0]], "deadline_ms": 30},
+            )
+            assert status == 504
+            assert "deadline" in json.loads(body)["error"]
+            release.set()
+
+        with_server(stub_factory(gated), check, queue_depth=4)
+
+    def test_engine_failure_answers_500(self):
+        def boom(xs):
+            raise RuntimeError("shard exploded")
+
+        async def check(server):
+            status, _, body = await request(
+                server.port, "POST", "/v1/predict", {"images": [[0, 0], [0, 0]]}
+            )
+            assert status == 500
+            assert "shard exploded" in json.loads(body)["error"]
+
+        with_server(stub_factory(boom), check)
+
+
+class TestDrain:
+    def test_draining_rejects_new_reports_503(self):
+        async def check(server):
+            await server.service.drain()
+            code, body, _, _ = await server._dispatch("GET", "/healthz", {}, b"")
+            assert code == 503
+            assert json.loads(body)["status"] == "draining"
+            code, _, _, _ = await server._dispatch(
+                "POST", "/v1/predict", {}, json.dumps({"images": [[0, 0], [0, 0]]}).encode()
+            )
+            assert code == 503
+
+        with_server(stub_factory(), check)
+
+    def test_graceful_stop_finishes_accepted_request(self):
+        def slow(xs):
+            time.sleep(0.1)
+            return [np.zeros((x.shape[0], 3)) for x in xs]
+
+        async def run():
+            server = ServingServer(
+                ServerConfig(port=0, max_wait_ms=1.0), engine_factory=stub_factory(slow)
+            )
+            await server.start()
+            inflight = asyncio.ensure_future(
+                request(server.port, "POST", "/v1/predict", {"images": [[0, 0], [0, 0]]})
+            )
+            await asyncio.sleep(0.03)  # request admitted and dispatched
+            await server.drain_and_stop()
+            status, _, _ = await inflight
+            assert status == 200  # accepted work survived the shutdown
+
+        asyncio.run(run())
+
+    def test_port_file_written_on_start(self, tmp_path):
+        port_file = tmp_path / "port"
+
+        async def check(server):
+            assert int(port_file.read_text()) == server.port
+
+        with_server(stub_factory(), check, port_file=str(port_file))

@@ -44,6 +44,141 @@ class TestCommands:
         assert "proposed-serial" in capsys.readouterr().out
 
 
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port, args.workers) == ("127.0.0.1", 8080, 0)
+        assert (args.max_batch, args.max_wait_ms, args.queue_depth) == (32, 5.0, 64)
+        assert args.deadline_ms is None and args.port_file is None
+        assert (args.benchmark, args.engine, args.n_bits, args.batch) == (
+            "digits", "proposed-sc", 8, 16
+        )
+
+    def test_flags_plumb_into_server_config(self, monkeypatch):
+        import repro.serve
+
+        captured = {}
+        monkeypatch.setattr(
+            repro.serve, "run_server", lambda config: captured.setdefault("c", config) and 0
+        )
+        assert main([
+            "serve", "--host", "0.0.0.0", "--port", "0", "--workers", "2",
+            "--max-batch", "8", "--max-wait-ms", "2.5", "--queue-depth", "16",
+            "--deadline-ms", "250", "--benchmark", "shapes", "--n-bits", "6",
+            "--batch", "4", "--port-file", "/tmp/x",
+        ]) == 0
+        c = captured["c"]
+        assert (c.host, c.port, c.workers) == ("0.0.0.0", 0, 2)
+        assert (c.max_batch, c.max_wait_ms, c.queue_depth) == (8, 2.5, 16)
+        assert c.default_deadline_ms == 250
+        assert (c.benchmark, c.n_bits, c.shard_batch) == ("shapes", 6, 4)
+        assert c.port_file == "/tmp/x"
+
+    def test_boot_serve_and_graceful_shutdown(self, monkeypatch, tmp_path):
+        """`repro serve` comes up, answers over a real socket, drains to rc 0."""
+        import http.client
+        import json
+        import threading
+        import time
+
+        import numpy as np
+
+        from repro.parallel import ParallelConfig
+        from repro.serve import http as serve_http
+
+        class StubEngine:
+            config = ParallelConfig(workers=1)
+
+            def add_hook(self, hook):
+                pass
+
+            def logits(self, x):
+                return np.zeros((x.shape[0], 3))
+
+            def logits_grouped(self, xs):
+                return [np.tile(np.array([0.0, 1.0, 0.0]), (x.shape[0], 1)) for x in xs]
+
+        monkeypatch.setattr(
+            serve_http, "build_engine",
+            lambda config: (StubEngine(), (2, 2), {"benchmark": "stub"}),
+        )
+        port_file = tmp_path / "port"
+        outcome = {}
+        thread = threading.Thread(
+            target=lambda: outcome.setdefault(
+                "rc", main(["serve", "--port", "0", "--port-file", str(port_file)])
+            )
+        )
+        thread.start()
+        try:
+            deadline = time.time() + 10.0
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            assert port_file.exists(), "server never wrote its port file"
+            port = int(port_file.read_text())
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+            conn.request("GET", "/healthz")
+            health = json.loads(conn.getresponse().read())
+            assert health["status"] == "ready"
+            conn.request(
+                "POST", "/v1/predict",
+                body=json.dumps({"images": [[0, 0], [0, 0]]}),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read())["classes"] == [1]
+            conn.close()
+        finally:
+            server = serve_http.get_active_server()
+            assert server is not None
+            server.request_shutdown()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcome["rc"] == 0
+
+
+class TestInferCheck:
+    def _forged(self, bit_exact, mismatch=None):
+        from repro.experiments.network_performance import ThroughputResult
+
+        return ThroughputResult(
+            dataset="digits", engine="proposed-sc", n_bits=8, n_images=4,
+            workers=2, batch_size=2, use_cache=True, seconds=0.5,
+            images_per_sec=8.0, bit_exact=bit_exact, mismatch=mismatch,
+        )
+
+    def test_check_failure_exits_nonzero_with_diff_summary(self, monkeypatch, capsys):
+        import repro.experiments.network_performance as perf
+
+        mismatch = {
+            "count": 2, "total": 4,
+            "first": [
+                {"index": 1, "got": 3, "expected": 7},
+                {"index": 2, "got": 0, "expected": 9},
+            ],
+        }
+        monkeypatch.setattr(
+            perf, "measure_throughput",
+            lambda *a, **k: self._forged(False, mismatch),
+        )
+        assert main(["infer", "--check", "--workers", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out
+        assert "2/4 predictions differ" in out
+        assert "[1] got 3 expected 7" in out
+
+    def test_check_pass_exits_zero(self, monkeypatch, capsys):
+        import repro.experiments.network_performance as perf
+
+        monkeypatch.setattr(
+            perf, "measure_throughput", lambda *a, **k: self._forged(True)
+        )
+        assert main(["infer", "--check", "--workers", "2"]) == 0
+        assert "bit-exact vs serial: OK" in capsys.readouterr().out
+
+
 class TestCacheCommand:
     @pytest.fixture(autouse=True)
     def _tmp_store(self, tmp_path, monkeypatch):
