@@ -42,6 +42,9 @@ class LoadReport:
     offered_rps: float
     duration_s: float
     images_per_request: int
+    #: seed of the deterministic payload generator — recorded so any
+    #: bench JSON row can be replayed with the identical request bytes
+    seed: int
     sent: int
     completed: int
     errors: int
@@ -205,6 +208,7 @@ async def run_load(
         offered_rps=rps,
         duration_s=round(elapsed, 3),
         images_per_request=images_per_request,
+        seed=seed,
         sent=total,
         completed=completed,
         errors=errors,

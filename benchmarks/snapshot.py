@@ -287,6 +287,9 @@ def bench_serving(
         "max_wait_ms": 25.0,
         "queue_depth": 256,
         "shard_batch": 16,
+        # payload generator seed: every report row records it, so any
+        # bench point can be replayed with identical request bytes
+        "payload_seed": 0,
     }
 
     def config_for(workers: int) -> ServerConfig:
@@ -303,7 +306,9 @@ def bench_serving(
         server = ServingServer(config_for(workers))
         await server.start()
         try:
-            payload = make_payload(server.input_shape, images_per_request, seed=0)
+            payload = make_payload(
+                server.input_shape, images_per_request, seed=serve_knobs["payload_seed"]
+            )
             points = []
             for rps in offered_loads:
                 report = await run_load(
@@ -312,6 +317,7 @@ def bench_serving(
                     rps,
                     duration_s,
                     images_per_request=images_per_request,
+                    seed=serve_knobs["payload_seed"],
                     payload=payload,
                 )
                 entry = report.to_dict()

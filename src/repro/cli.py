@@ -103,6 +103,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port here once listening (for scripts and CI)",
     )
+    p_srv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive engine failures before the circuit opens (0 = disable)",
+    )
+    p_srv.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=5.0,
+        help="seconds the open circuit refuses traffic before a half-open probe",
+    )
+    p_srv.add_argument(
+        "--shard-timeout-s",
+        type=float,
+        default=None,
+        help="per-shard attempt timeout; overdue shards are re-dispatched "
+        "to surviving workers (omit for none)",
+    )
+    p_srv.add_argument(
+        "--shard-retries",
+        type=int,
+        default=3,
+        help="attempts per shard before the engine call fails",
+    )
 
     p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
     p_rtl.add_argument("--out", default="rtl", help="output directory")
@@ -233,6 +258,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_bits=args.n_bits,
         shard_batch=args.batch,
         port_file=args.port_file,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        shard_timeout_s=args.shard_timeout_s,
+        shard_retries=args.shard_retries,
     )
     return run_server(config)
 

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the parallel engine and serve plane.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the schedule model: seedable, JSON
+  round-trippable :class:`FaultPlan`/:class:`FaultSpec` pairs that
+  select injection sites deterministically (by shard index, retry
+  attempt, segment key);
+* :mod:`repro.faults.hooks` — the process-wide registry the
+  instrumented call sites in :mod:`repro.parallel` and
+  :mod:`repro.serve` consult.  With no plan installed every hook is a
+  single ``is not None`` check.
+
+The chaos fleet in ``tests/faults/`` drives randomized schedules
+through the full stack and asserts three invariants after every
+scenario: results bit-exact versus serial ``Network.predict``, no
+orphaned worker processes, no leaked ``/dev/shm`` segments.  See the
+fault-injection section of ``docs/testing.md`` for the site catalogue
+and how to replay a failing schedule.
+"""
+
+from repro.faults import hooks
+from repro.faults.hooks import ENV_VAR, clear, enabled, fire, injected, install, plan_from_env
+from repro.faults.plan import ACTIONS, SITES, FaultInjected, FaultPlan, FaultSpec, random_plan
+
+__all__ = [
+    "hooks",
+    "ACTIONS",
+    "SITES",
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "random_plan",
+    "enabled",
+    "fire",
+    "install",
+    "clear",
+    "injected",
+    "plan_from_env",
+]

@@ -1,0 +1,156 @@
+"""Injection-point registry: fire faults, stay free when disabled.
+
+The contract every instrumented call site follows::
+
+    from repro.faults import hooks
+
+    if hooks.enabled():                       # one global load + is-check
+        for spec in hooks.fire("worker.shard", index=i, attempt=a):
+            ...apply site-specific actions...
+
+With no plan installed, :func:`enabled` is a single module-global
+``is not None`` test and :func:`fire` is never entered — the hooks are
+provably zero-cost in production (the PR's benchmark gate compares the
+serving snapshot suite against ``BENCH_PR4.json`` with hooks compiled
+in but disabled).
+
+Activation paths:
+
+* :func:`install` / :func:`clear` / the :func:`injected` context
+  manager — tests and tooling;
+* the ``REPRO_FAULTS`` environment variable (a JSON
+  :class:`~repro.faults.plan.FaultPlan`) — read once at import, so CLI
+  runs and *spawn*-start pool workers pick the plan up automatically;
+* pool initializers — the parent forwards its active plan through the
+  worker initargs (:func:`repro.parallel.worker.init_network_worker`),
+  which also covers *fork* workers and keeps the per-worker ``times``
+  budgets fresh.
+
+Generic actions (``crash``, ``delay``, ``raise``) execute inside
+:func:`fire`; site-specific actions are returned for the call site to
+apply, because only it owns the state being faulted (the output block,
+the schedule cache, the shared segment).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.faults.plan import FaultInjected, FaultPlan, FaultSpec
+
+__all__ = [
+    "enabled",
+    "active_plan",
+    "install",
+    "clear",
+    "injected",
+    "fire",
+    "set_epoch",
+    "epoch",
+    "plan_from_env",
+    "ENV_VAR",
+]
+
+#: Environment variable holding a JSON fault plan (see plan.to_json()).
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status of a ``crash`` action — distinguishable from a real
+#: segfault in worker post-mortems.
+CRASH_EXIT_CODE = 117
+
+_PLAN: FaultPlan | None = None
+
+#: Current retry epoch (pool respawn wave).  Sites that cannot see the
+#: attempt number directly (shm attach inside a worker initializer)
+#: inherit it from here; the initializer sets it before attaching.
+_EPOCH = 0
+
+
+def enabled() -> bool:
+    """Cheap guard for hot paths: is any fault plan installed?"""
+    return _PLAN is not None
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-wide (``None`` disables injection)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    """Disable injection and reset the epoch."""
+    global _PLAN, _EPOCH
+    _PLAN = None
+    _EPOCH = 0
+
+
+class injected:
+    """Context manager: install a plan, always clear on exit."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        install(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc) -> None:
+        clear()
+
+
+def set_epoch(value: int) -> None:
+    """Record the current respawn wave (worker initializers)."""
+    global _EPOCH
+    _EPOCH = int(value)
+
+
+def epoch() -> int:
+    return _EPOCH
+
+
+def fire(site: str, **ctx) -> tuple[FaultSpec, ...]:
+    """Fire matching faults at ``site``; return the site-specific ones.
+
+    Generic actions run here: ``delay`` sleeps, ``raise`` raises
+    :class:`FaultInjected`, ``crash`` terminates the process with
+    ``os._exit`` — no cleanup handlers, the closest a test can get to
+    ``SIGKILL`` while staying portable.  Call only behind
+    :func:`enabled`.
+    """
+    plan = _PLAN
+    if plan is None:
+        return ()
+    ctx.setdefault("attempt", _EPOCH)
+    out = []
+    for spec in plan.select(site, ctx):
+        if spec.action == "delay":
+            time.sleep(spec.seconds)
+        elif spec.action == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif spec.action == "raise":
+            raise FaultInjected(site, spec)
+        else:
+            out.append(spec)
+    return tuple(out)
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    """Parse ``REPRO_FAULTS`` (JSON plan) from the environment."""
+    env = os.environ if environ is None else environ
+    text = env.get(ENV_VAR, "").strip()
+    if not text:
+        return None
+    return FaultPlan.from_json(text)
+
+
+# Import-time activation: a process started with REPRO_FAULTS set (CLI
+# runs, spawn-start workers) injects without any code changes.
+_env_plan = plan_from_env()
+if _env_plan is not None:  # pragma: no cover - exercised via subprocess tests
+    _PLAN = _env_plan
+del _env_plan

@@ -3,14 +3,21 @@
 Public surface of the parallel engine: the scheduler that chunks the
 (images x output-tiles) work grid, the shared-memory plumbing, the
 per-worker schedule caches, and the pool-backed predict/matmul entry
-points.  See ``docs/testing.md`` for the bit-exactness guarantee and
-the test fleet that enforces it.
+points.  See ``docs/testing.md`` for the bit-exactness guarantee, the
+fault-tolerance contract, and the test fleets that enforce both.
 """
 
-from repro.parallel.cache import ScheduleCache, get_worker_cache, reset_worker_cache
+from repro.parallel.cache import (
+    CachePoisonedError,
+    ScheduleCache,
+    get_worker_cache,
+    reset_worker_cache,
+)
 from repro.parallel.engine import (
     BatchInferenceEngine,
     ParallelConfig,
+    PoolRespawnError,
+    ShardFailedError,
     group_shards,
     parallel_matmul,
     predict_batched,
@@ -18,19 +25,37 @@ from repro.parallel.engine import (
     predict_logits_grouped,
     resolve_parallelism,
 )
-from repro.parallel.scheduler import BatchScheduler, Shard
-from repro.parallel.shm import SharedArrayPool, SharedArraySpec, SharedArrayView
+from repro.parallel.scheduler import BatchScheduler, RetryPolicy, Shard
+from repro.parallel.shm import (
+    SegmentCorruptError,
+    SegmentError,
+    SegmentTruncatedError,
+    SharedArrayPool,
+    SharedArraySpec,
+    SharedArrayView,
+    live_segments,
+    sweep_segments,
+)
 
 __all__ = [
     "BatchScheduler",
+    "RetryPolicy",
     "Shard",
+    "SegmentError",
+    "SegmentTruncatedError",
+    "SegmentCorruptError",
     "SharedArrayPool",
     "SharedArraySpec",
     "SharedArrayView",
+    "live_segments",
+    "sweep_segments",
+    "CachePoisonedError",
     "ScheduleCache",
     "get_worker_cache",
     "reset_worker_cache",
     "ParallelConfig",
+    "ShardFailedError",
+    "PoolRespawnError",
     "resolve_parallelism",
     "predict_logits",
     "predict_batched",

@@ -37,10 +37,21 @@ from repro.core.kernels import select_schedule
 from repro.core.mvm import sc_matmul
 from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
 
-__all__ = ["ScheduleCache", "get_worker_cache", "reset_worker_cache"]
+__all__ = ["CachePoisonedError", "ScheduleCache", "get_worker_cache", "reset_worker_cache"]
 
 #: float32 GEMM is exact while every partial sum stays below 2**24.
 _F32_EXACT_BOUND = 1 << 24
+
+
+class CachePoisonedError(RuntimeError):
+    """A cached schedule failed validation and must not be served.
+
+    Raised either because :meth:`ScheduleCache.poison` was called (the
+    fault-injection ``poison_cache`` action) or because a cached layer
+    entry no longer has the shape its key promises.  The worker-side
+    recovery path treats this like any other shard failure: drop the
+    cache, rebuild from the shared weights, re-execute the shard.
+    """
 
 
 class ScheduleCache:
@@ -51,6 +62,7 @@ class ScheduleCache:
         self._bit_tables: dict[int, np.ndarray] = {}
         self._selects: dict[tuple[int, int], np.ndarray] = {}
         self._layers: OrderedDict[tuple, tuple] = OrderedDict()
+        self._poisoned = False
         self.hits = 0
         self.misses = 0
         #: optional observer ``hook("hit" | "miss")`` fired on every
@@ -90,10 +102,13 @@ class ScheduleCache:
         subtraction constant of the closed form.  Keyed by weight
         *content*, so in-place weight updates miss and recompute.
         """
+        if self._poisoned:
+            raise CachePoisonedError("schedule cache was poisoned; drop and rebuild")
         w = np.ascontiguousarray(np.asarray(w_int, dtype=np.int64))
         key = (hashlib.sha1(w.tobytes()).hexdigest(), w.shape, int(n_bits))
         cached = self._layers.get(key)
         if cached is not None:
+            self._validate_entry(key, cached)
             self._layers.move_to_end(key)
             self.hits += 1
             if self.hook is not None:
@@ -120,6 +135,41 @@ class ScheduleCache:
         while len(self._layers) > self.max_layers:
             self._layers.popitem(last=False)
         return entry
+
+    @staticmethod
+    def _validate_entry(key, entry) -> None:
+        """Check a cached entry still has the shape its key promises.
+
+        Every lookup re-validates, so a poisoned or torn entry is
+        detected the moment it would be served — never silently folded
+        into a result.
+        """
+        _, (m, d), n_bits = key
+        ok = (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], np.ndarray)
+            and isinstance(entry[1], np.ndarray)
+            and entry[0].shape == (m, d * n_bits)
+            and entry[1].shape == (m,)
+        )
+        if not ok:
+            raise CachePoisonedError(
+                f"cached schedule for layer {key[0][:12]} failed shape validation"
+            )
+
+    def poison(self) -> None:
+        """Deliberately corrupt the cache (fault injection only).
+
+        Every cached layer entry is replaced with garbage and a sticky
+        flag makes the next lookup raise :class:`CachePoisonedError`
+        even if the cache is empty — the poisoning is always
+        *detectable*, so recovery (cache drop + re-execution) is always
+        triggered rather than a wrong result served.
+        """
+        for key in list(self._layers):
+            self._layers[key] = ("poisoned", "poisoned")
+        self._poisoned = True
 
     # -- the fast batched matmul ------------------------------------------
     def sc_matmul(

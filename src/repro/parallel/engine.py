@@ -23,6 +23,25 @@ dense head goes through BLAS, whose summation order may differ between
 a ``(1, d)`` and a ``(7, d)`` operand.  The differential fleet in
 ``tests/parallel`` enforces the contract.
 
+Fault tolerance extends the same contract to degraded runs: recovery
+is always *re-execution of the same shards with the same arithmetic*,
+never approximation, so a run that survived worker crashes, hung
+shards or torn segments returns bit-for-bit what the undisturbed run
+returns.  Three mechanisms, all governed by
+:class:`~repro.parallel.scheduler.RetryPolicy`:
+
+* **shard retry** — a task that raises is resubmitted with capped
+  exponential backoff, up to ``max_attempts``;
+* **pool respawn** — a broken pool (worker death, failed initializer,
+  segment corruption detected at attach) tears down the executor,
+  rebuilds every shared segment from the parent's source arrays,
+  carries completed output blocks forward and re-dispatches only the
+  unfinished shards, up to ``max_pool_respawns`` waves;
+* **shard timeout** — an attempt overdue past ``shard_timeout_s`` is
+  abandoned and the shard re-dispatched to a surviving worker; if the
+  straggler eventually finishes, its write is identical bytes to a
+  disjoint block and therefore harmless.
+
 ``workers=0`` runs the same scheduler/reassembly path in-process (no
 pool, no shared memory) and is the reference the fleet compares
 against; ``workers>=1`` uses the pool.
@@ -32,18 +51,22 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import hooks as _faults
 from repro.parallel import worker as _worker
 from repro.parallel.cache import get_worker_cache
-from repro.parallel.scheduler import BatchScheduler, Shard
+from repro.parallel.scheduler import BatchScheduler, RetryPolicy, Shard
 from repro.parallel.shm import SharedArrayPool
 
 __all__ = [
     "ParallelConfig",
+    "ShardFailedError",
+    "PoolRespawnError",
     "resolve_parallelism",
     "predict_logits",
     "predict_batched",
@@ -52,6 +75,14 @@ __all__ = [
     "parallel_matmul",
     "BatchInferenceEngine",
 ]
+
+
+class ShardFailedError(RuntimeError):
+    """A shard exhausted its retry budget (raises or timeouts)."""
+
+
+class PoolRespawnError(RuntimeError):
+    """The pool kept breaking past the respawn budget."""
 
 
 @dataclass(frozen=True)
@@ -63,7 +94,10 @@ class ParallelConfig:
     chunks the image axis, ``tile_size`` the output-tile axis of
     matmul-level sharding (0 = whole axis).  ``use_cache`` enables the
     per-worker FSM-schedule caches; disabling it reproduces the
-    uncached serial engine's work profile exactly.
+    uncached serial engine's work profile exactly.  ``retry`` governs
+    how pool dispatch survives failing, hung, or dying shards — the
+    policy never changes *what* is computed, only how many times the
+    same shards are re-executed.
     """
 
     workers: int = 0
@@ -71,6 +105,7 @@ class ParallelConfig:
     tile_size: int = 0
     start_method: str | None = None
     use_cache: bool = True
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -107,6 +142,151 @@ def _n_outputs(net) -> int:
     raise ValueError("cannot infer network output width (no bias-carrying layer)")
 
 
+# --------------------------------------------------------------------------
+# resilient pool dispatch
+# --------------------------------------------------------------------------
+
+
+class _PoolBroken(Exception):
+    """Internal: the executor died mid-wave; respawn and re-dispatch."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+def _run_sharded_pool(config: ParallelConfig, shards: list[Shard], task, populate) -> np.ndarray:
+    """Execute ``shards`` on a resilient process pool; return the output.
+
+    ``populate(pool)`` builds every shared segment inside the given
+    :class:`SharedArrayPool` — including allocating ``"out"`` — and
+    returns ``(initializer, initargs)``.  It is re-invoked on every
+    respawn wave, which is exactly what heals segment corruption: the
+    parent still owns the pristine source arrays, so fresh segments
+    carry fresh checksums no matter what happened to the old ones.
+    """
+    retry = config.retry
+    plan = _faults.active_plan()
+    ctx = config.context()
+    outstanding = {s.index: s for s in shards}
+    attempts = {s.index: 0 for s in shards}
+    carried: np.ndarray | None = None
+    wave = 0
+    while True:
+        with SharedArrayPool() as pool:
+            initializer, initargs = populate(pool)
+            out = pool.array("out")
+            if carried is not None:
+                # completed blocks survive the respawn verbatim; the
+                # re-dispatched shards overwrite their own blocks below
+                out[...] = carried
+            executor = ProcessPoolExecutor(
+                max_workers=config.workers,
+                mp_context=ctx,
+                initializer=initializer,
+                initargs=initargs + (plan, wave),
+            )
+            try:
+                _drain_wave(executor, task, outstanding, attempts, retry, wave)
+                executor.shutdown(wait=True)
+                return out.copy()
+            except _PoolBroken as exc:
+                executor.shutdown(wait=False, cancel_futures=True)
+                carried = out.copy()
+                wave += 1
+                if wave > retry.max_pool_respawns:
+                    raise PoolRespawnError(
+                        f"process pool broke {wave} times "
+                        f"(respawn budget {retry.max_pool_respawns}): {exc.cause}"
+                    ) from exc.cause
+            except BaseException:
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+def _drain_wave(executor, task, outstanding, attempts, retry: RetryPolicy, wave: int) -> None:
+    """Drive every outstanding shard to completion on one executor.
+
+    Mutates ``outstanding`` (completed shards removed) and ``attempts``
+    (incremented on raise/timeout).  Raises :class:`_PoolBroken` the
+    moment the executor dies so the caller can respawn.
+    """
+    pending: dict = {}  # future -> (shard, deadline | None)
+
+    def submit(shard: Shard) -> None:
+        try:
+            future = executor.submit(task, shard, attempts[shard.index])
+        except BrokenProcessPool as exc:
+            raise _PoolBroken(exc) from exc
+        deadline = (
+            time.monotonic() + retry.shard_timeout_s if retry.shard_timeout_s else None
+        )
+        pending[future] = (shard, deadline)
+
+    for shard in list(outstanding.values()):
+        # a respawned wave is itself a retry: shards re-dispatched
+        # after a crash must not replay the crash-at-attempt-0 fault
+        attempts[shard.index] = max(attempts[shard.index], wave)
+        submit(shard)
+
+    sleeping: list[tuple[float, Shard]] = []  # (wake time, shard) backoff queue
+    while pending or sleeping:
+        now = time.monotonic()
+        for entry in list(sleeping):
+            if now >= entry[0]:
+                sleeping.remove(entry)
+                submit(entry[1])
+        events = [w for w, _ in sleeping]
+        events += [d for _, d in pending.values() if d is not None]
+        timeout = max(0.0, min(events) - time.monotonic()) if events else None
+        if pending:
+            finished, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+        else:
+            time.sleep(timeout or 0.0)
+            finished = set()
+
+        for future in finished:
+            shard, _ = pending.pop(future)
+            try:
+                future.result()
+            except _PoolBroken:
+                raise
+            except (BrokenProcessPool, BrokenPipeError, EOFError) as exc:
+                raise _PoolBroken(exc) from exc
+            except Exception as exc:
+                attempts[shard.index] += 1
+                if attempts[shard.index] >= retry.max_attempts:
+                    raise ShardFailedError(
+                        f"shard {shard.index} failed {attempts[shard.index]} times "
+                        f"(budget {retry.max_attempts}): {exc}"
+                    ) from exc
+                wake = time.monotonic() + retry.backoff_s(attempts[shard.index])
+                sleeping.append((wake, shard))
+            else:
+                outstanding.pop(shard.index, None)
+
+        if retry.shard_timeout_s:
+            now = time.monotonic()
+            overdue = [f for f, (_, d) in pending.items() if d is not None and now >= d]
+            for future in overdue:
+                shard, _ = pending.pop(future)
+                # abandon the straggler: if it ever finishes, it writes
+                # identical bytes to a disjoint block — harmless
+                attempts[shard.index] += 1
+                if attempts[shard.index] >= retry.max_attempts:
+                    raise ShardFailedError(
+                        f"shard {shard.index} timed out {attempts[shard.index]} times "
+                        f"(budget {retry.max_attempts}, "
+                        f"timeout {retry.shard_timeout_s:g}s)"
+                    )
+                submit(shard)
+
+
+# --------------------------------------------------------------------------
+# entry points
+# --------------------------------------------------------------------------
+
+
 def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
     """Batched logits; bit-exact across worker counts at fixed chunking.
 
@@ -134,23 +314,22 @@ def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
             restore()
         return out
 
-    with SharedArrayPool() as pool:
-        skel, state = _worker.net_skeleton(net)
+    skel, state = _worker.net_skeleton(net)
+    x_arr = np.ascontiguousarray(x)
+
+    def populate(pool: SharedArrayPool):
         weight_specs = [pool.share(f"w{i}", p) for i, p in enumerate(state)]
-        x_spec = pool.share("x", np.ascontiguousarray(x))
+        x_spec = pool.share("x", x_arr)
         out_spec = pool.alloc("out", (n, n_out), np.float64)
-        ctx = config.context()
-        with ProcessPoolExecutor(
-            max_workers=config.workers,
-            mp_context=ctx,
-            initializer=_worker.init_network_worker,
-            initargs=(skel, weight_specs, x_spec, out_spec, config.use_cache),
-        ) as executor:
-            futures = [executor.submit(_worker.run_network_shard, s) for s in shards]
-            indices = sorted(f.result() for f in futures)
-        if indices != [s.index for s in shards]:  # pragma: no cover - defensive
-            raise RuntimeError("shard reassembly mismatch")
-        return pool.array("out").copy()
+        return _worker.init_network_worker, (
+            skel,
+            weight_specs,
+            x_spec,
+            out_spec,
+            config.use_cache,
+        )
+
+    return _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
 
 
 def predict_batched(net, x: np.ndarray, parallelism=None) -> np.ndarray:
@@ -209,13 +388,14 @@ def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
     bounds = np.cumsum([0] + counts)
     n = int(bounds[-1])
     n_out = _n_outputs(net)
-    out = np.empty((n, n_out), dtype=np.float64)
     shards = group_shards(counts, config.batch_size)
     if n == 0 or not shards:
+        out = np.empty((n, n_out), dtype=np.float64)
         return [out[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
     x = np.concatenate(xs) if len(xs) > 1 else xs[0]
 
     if config.workers == 0:
+        out = np.empty((n, n_out), dtype=np.float64)
         restore = _attach_caches_inproc(net, config)
         try:
             for shard in shards:
@@ -224,24 +404,23 @@ def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
             restore()
         return [out[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
 
-    with SharedArrayPool() as pool:
-        skel, state = _worker.net_skeleton(net)
+    skel, state = _worker.net_skeleton(net)
+    x_arr = np.ascontiguousarray(x)
+
+    def populate(pool: SharedArrayPool):
         weight_specs = [pool.share(f"w{i}", p) for i, p in enumerate(state)]
-        x_spec = pool.share("x", np.ascontiguousarray(x))
+        x_spec = pool.share("x", x_arr)
         out_spec = pool.alloc("out", (n, n_out), np.float64)
-        ctx = config.context()
-        with ProcessPoolExecutor(
-            max_workers=config.workers,
-            mp_context=ctx,
-            initializer=_worker.init_network_worker,
-            initargs=(skel, weight_specs, x_spec, out_spec, config.use_cache),
-        ) as executor:
-            futures = [executor.submit(_worker.run_network_shard, s) for s in shards]
-            indices = sorted(f.result() for f in futures)
-        if indices != [s.index for s in shards]:  # pragma: no cover - defensive
-            raise RuntimeError("shard reassembly mismatch")
-        result = pool.array("out")
-        return [result[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
+        return _worker.init_network_worker, (
+            skel,
+            weight_specs,
+            x_spec,
+            out_spec,
+            config.use_cache,
+        )
+
+    result = _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
+    return [result[lo:hi].copy() for lo, hi in zip(bounds[:-1], bounds[1:])]
 
 
 def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> np.ndarray:
@@ -269,21 +448,22 @@ def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> n
             restore()
         return out
 
-    with SharedArrayPool() as pool:
-        w_spec = pool.share("w", np.ascontiguousarray(w))
-        x_spec = pool.share("x", np.ascontiguousarray(x))
+    w_arr = np.ascontiguousarray(w)
+    x_arr = np.ascontiguousarray(x)
+
+    def populate(pool: SharedArrayPool):
+        w_spec = pool.share("w", w_arr)
+        x_spec = pool.share("x", x_arr)
         out_spec = pool.alloc("out", (m, p), np.float64)
-        ctx = config.context()
-        with ProcessPoolExecutor(
-            max_workers=config.workers,
-            mp_context=ctx,
-            initializer=_worker.init_matmul_worker,
-            initargs=(engine, w_spec, x_spec, out_spec, config.use_cache),
-        ) as executor:
-            futures = [executor.submit(_worker.run_matmul_shard, s) for s in shards]
-            for f in futures:
-                f.result()
-        return pool.array("out").copy()
+        return _worker.init_matmul_worker, (
+            engine,
+            w_spec,
+            x_spec,
+            out_spec,
+            config.use_cache,
+        )
+
+    return _run_sharded_pool(config, shards, _worker.run_matmul_shard, populate)
 
 
 def _attach_caches_inproc(net, config: ParallelConfig):
@@ -339,6 +519,8 @@ class BatchInferenceEngine:
             hook(n_images, seconds, self.config.workers)
 
     def logits(self, x: np.ndarray) -> np.ndarray:
+        if _faults.enabled():
+            _faults.fire("engine.dispatch", key="logits")
         t0 = time.perf_counter()
         out = predict_logits(self.net, x, self.config)
         self._notify(int(np.asarray(x).shape[0]), time.perf_counter() - t0)
@@ -346,6 +528,8 @@ class BatchInferenceEngine:
 
     def logits_grouped(self, xs) -> list[np.ndarray]:
         """Per-request logits for a coalesced group (micro-batching)."""
+        if _faults.enabled():
+            _faults.fire("engine.dispatch", key="grouped")
         t0 = time.perf_counter()
         out = predict_logits_grouped(self.net, xs, self.config)
         n = sum(int(np.asarray(x).shape[0]) for x in xs)

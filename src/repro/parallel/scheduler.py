@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Shard", "BatchScheduler"]
+__all__ = ["Shard", "BatchScheduler", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,46 @@ class Shard:
     @property
     def n_tiles(self) -> int:
         return self.tiles[1] - self.tiles[0]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool dispatcher survives failing, slow, or dying shards.
+
+    A *shard attempt* fails when its task raises (an engine error, an
+    injected fault) — it is resubmitted up to ``max_attempts`` times
+    with capped exponential backoff.  A *pool respawn* happens when the
+    pool itself breaks (a worker died, a segment failed validation):
+    the executor and every shared segment are rebuilt from the parent's
+    source arrays, completed output blocks are carried over, and only
+    unfinished shards are re-dispatched — recovery is always
+    re-execution of the same shards, so the recovered result is
+    bit-exact with the undisturbed run.  ``shard_timeout_s`` bounds a
+    single attempt: an overdue shard is re-dispatched to a surviving
+    worker and the straggler's (identical, disjoint) write is ignored.
+    """
+
+    max_attempts: int = 3
+    max_pool_respawns: int = 2
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 1.0
+    shard_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive (or None)")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
 
 
 class BatchScheduler:

@@ -10,25 +10,76 @@ pool initializer.
 Zero-size arrays are handled explicitly (the OS refuses a 0-byte
 segment): a spec with ``size == 0`` never allocates and attaches as an
 empty view, so empty batches flow through the same code path.
+
+Robustness contract (exercised by ``tests/faults``):
+
+* **Truncation detection** — attaching a segment smaller than its spec
+  raises :class:`SegmentTruncatedError` instead of letting numpy read
+  past the mapping.
+* **Content integrity** — ``share()`` records a CRC-32 of the payload
+  in the spec; :meth:`SharedArrayView.verify` re-checksums the mapping
+  and raises :class:`SegmentCorruptError` on mismatch.  Worker
+  initializers verify the read-only segments (weights, inputs) once
+  per spawn, so a torn or bit-flipped segment fails loudly at attach
+  time and the parent can rebuild fresh segments and re-dispatch.
+* **Leak tracking** — every segment this process creates is registered
+  until unlinked; :func:`sweep_segments` (also installed via
+  ``atexit``) unlinks stragglers, so neither a crashed worker nor an
+  exception between ``alloc`` and ``close`` can leak ``/dev/shm``
+  system-wide.
 """
 
 from __future__ import annotations
 
+import atexit
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArraySpec", "SharedArrayView", "SharedArrayPool"]
+from repro.faults import hooks as _faults
+
+__all__ = [
+    "SegmentError",
+    "SegmentTruncatedError",
+    "SegmentCorruptError",
+    "SharedArraySpec",
+    "SharedArrayView",
+    "SharedArrayPool",
+    "live_segments",
+    "sweep_segments",
+]
+
+
+class SegmentError(RuntimeError):
+    """A shared segment failed validation at attach or verify time."""
+
+
+class SegmentTruncatedError(SegmentError):
+    """The segment on disk is smaller than its spec promises."""
+
+
+class SegmentCorruptError(SegmentError):
+    """The segment's content no longer matches its recorded checksum."""
 
 
 @dataclass(frozen=True)
 class SharedArraySpec:
-    """Picklable handle of one shared array (name + layout)."""
+    """Picklable handle of one shared array (name + layout + integrity).
+
+    ``label`` is the pool key the parent allocated under (``"w0"``,
+    ``"x"``, ``"out"`` ...) — stable across runs, unlike the
+    OS-assigned ``name`` — and is what fault specs and log lines refer
+    to.  ``crc`` is the CRC-32 of the content at ``share()`` time, or
+    ``None`` for output segments whose content the workers produce.
+    """
 
     name: str
     shape: tuple[int, ...]
     dtype: str
+    label: str = ""
+    crc: int | None = None
 
     @property
     def nbytes(self) -> int:
@@ -44,12 +95,46 @@ class SharedArrayView:
 
     def __init__(self, spec: SharedArraySpec) -> None:
         self.spec = spec
+        fired = _faults.fire("shm.attach", key=spec.label or spec.name) if _faults.enabled() else ()
+        for f in fired:
+            if f.action == "truncate":
+                raise SegmentTruncatedError(
+                    f"injected truncation of segment {spec.label or spec.name!r}"
+                )
         if spec.nbytes == 0:
             self.shm = None
             self.array = np.empty(spec.shape, dtype=spec.dtype)
         else:
             self.shm = _attach_untracked(spec.name)
+            if self.shm.size < spec.nbytes:
+                size = self.shm.size
+                self.close()
+                raise SegmentTruncatedError(
+                    f"segment {spec.label or spec.name!r} holds {size} bytes, "
+                    f"spec promises {spec.nbytes}"
+                )
             self.array = np.ndarray(spec.shape, dtype=spec.dtype, buffer=self.shm.buf)
+            for f in fired:
+                # A bitflip scribbles on the *real* shared segment — the
+                # parent's copy too — exactly what a torn write does.
+                if f.action == "bitflip":
+                    self.shm.buf[0] ^= 0xFF
+
+    def verify(self) -> None:
+        """Re-checksum the mapping against the spec's recorded CRC-32.
+
+        No-op for specs without a checksum (output segments).  Raising
+        here means the shared content was torn after ``share()`` — the
+        dispatcher's recovery path rebuilds segments and re-dispatches.
+        """
+        if self.spec.crc is None:
+            return
+        actual = _crc32_array(self.array)
+        if actual != self.spec.crc:
+            raise SegmentCorruptError(
+                f"segment {self.spec.label or self.spec.name!r} checksum "
+                f"{actual:#010x} != recorded {self.spec.crc:#010x}"
+            )
 
     def close(self) -> None:
         """Detach; the owner (parent pool) is responsible for unlinking."""
@@ -57,6 +142,16 @@ class SharedArrayView:
             self.array = None
             self.shm.close()
             self.shm = None
+
+    def __enter__(self) -> "SharedArrayView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _crc32_array(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).view(np.uint8).reshape(-1))
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -86,12 +181,51 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
+#: Names of segments created by this process and not yet unlinked.
+#: Parent-side only — workers attach, they never create.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segments() -> frozenset[str]:
+    """Segment names this process created and still owns."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def sweep_segments() -> list[str]:
+    """Unlink every segment this process still owns; return their names.
+
+    The normal lifecycle (``SharedArrayPool`` as a context manager)
+    leaves nothing to sweep.  This is the backstop for abnormal exits —
+    it runs via ``atexit`` and is callable from tests asserting that a
+    chaos scenario left ``/dev/shm`` clean.
+    """
+    swept = []
+    for name in sorted(_LIVE_SEGMENTS):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with owner
+            continue
+        swept.append(name)
+    _LIVE_SEGMENTS.clear()
+    return swept
+
+
+atexit.register(sweep_segments)
+
+
 class SharedArrayPool:
     """Parent-side owner of a set of named shared arrays.
 
     Use as a context manager: segments are created on ``share``/
     ``alloc`` and unlinked on exit, so a crashed run cannot leak
-    system-wide shared memory.
+    system-wide shared memory.  Creation is additionally registered in
+    the process-wide ledger swept by :func:`sweep_segments`, covering
+    exits that bypass ``close()``.
     """
 
     def __init__(self) -> None:
@@ -99,17 +233,21 @@ class SharedArrayPool:
         self._arrays: dict[str, np.ndarray] = {}
         self._specs: dict[str, SharedArraySpec] = {}
 
-    def __enter__(self) -> SharedArrayPool:
+    def __enter__(self) -> "SharedArrayPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
     def share(self, key: str, array: np.ndarray) -> SharedArraySpec:
-        """Copy ``array`` into a new segment; return its spec."""
+        """Copy ``array`` into a new segment; return its checksummed spec."""
         spec = self.alloc(key, array.shape, array.dtype)
         if spec.nbytes:
             self._arrays[key][...] = array
+        spec = SharedArraySpec(
+            spec.name, spec.shape, spec.dtype, label=key, crc=_crc32_array(self._arrays[key])
+        )
+        self._specs[key] = spec
         return spec
 
     def alloc(self, key: str, shape: tuple[int, ...], dtype) -> SharedArraySpec:
@@ -121,12 +259,13 @@ class SharedArrayPool:
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         if nbytes == 0:
             arr = np.empty(shape, dtype=dtype)
-            spec = SharedArraySpec("", shape, dtype.str)
+            spec = SharedArraySpec("", shape, dtype.str, label=key)
         else:
             seg = shared_memory.SharedMemory(create=True, size=nbytes)
             self._segments.append(seg)
+            _LIVE_SEGMENTS.add(seg.name)
             arr = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
-            spec = SharedArraySpec(seg.name, shape, dtype.str)
+            spec = SharedArraySpec(seg.name, shape, dtype.str, label=key)
         self._arrays[key] = arr
         self._specs[key] = spec
         return spec
@@ -135,11 +274,16 @@ class SharedArrayPool:
         """Parent-side view of a previously allocated array."""
         return self._arrays[key]
 
+    def spec(self, key: str) -> SharedArraySpec:
+        """The (possibly checksummed) spec registered under ``key``."""
+        return self._specs[key]
+
     def close(self) -> None:
         """Release every segment (close + unlink)."""
         self._arrays.clear()
         self._specs.clear()
         for seg in self._segments:
+            _LIVE_SEGMENTS.discard(seg.name)
             try:
                 seg.close()
                 seg.unlink()

@@ -11,6 +11,17 @@ the worker writes its logits block straight into the shared output.
 The same module also hosts the matmul-level workers used by
 :func:`repro.parallel.engine.parallel_matmul`, which shard a single
 ``W @ X`` over the (output-tiles x columns) grid.
+
+Fault-tolerance contract (see ``docs/testing.md``):
+
+* the initializer verifies the checksummed read-only segments, so a
+  torn or truncated segment fails the spawn loudly instead of
+  computing on garbage;
+* a failing shard attempt resets the worker's schedule caches before
+  the error propagates — whatever state the failure may have poisoned
+  is dropped, and the retry recomputes from the shared weights;
+* the fault hooks (``worker.init``, ``worker.shard``) are single
+  ``is not None`` checks when no plan is installed.
 """
 
 from __future__ import annotations
@@ -19,7 +30,9 @@ import copy
 
 import numpy as np
 
-from repro.parallel.cache import get_worker_cache
+from repro.faults import hooks as _faults
+from repro.faults.plan import FaultInjected, FaultPlan
+from repro.parallel.cache import get_worker_cache, reset_worker_cache
 from repro.parallel.scheduler import Shard
 from repro.parallel.shm import SharedArraySpec, SharedArrayView
 
@@ -75,10 +88,37 @@ def _load_weights(net, weight_specs: list[SharedArraySpec]) -> None:
     if len(weight_specs) != len(net.params):
         raise ValueError("weight segment count does not match network parameters")
     for p, spec in zip(net.params, weight_specs):
-        view = SharedArrayView(spec)
-        p.value = view.array.astype(np.float64, copy=True)
-        p.grad = np.zeros_like(p.value)
-        view.close()
+        # close even if the copy or verify raises: a failed initializer
+        # must not hold mappings open for the rest of the worker's life
+        with SharedArrayView(spec) as view:
+            view.verify()
+            p.value = view.array.astype(np.float64, copy=True)
+            p.grad = np.zeros_like(p.value)
+
+
+def _install_faults(plan: FaultPlan | None, wave: int) -> None:
+    """Adopt the parent's fault plan in this worker (fresh budgets)."""
+    if plan is not None:
+        plan.reset()
+        _faults.install(plan)
+    _faults.set_epoch(wave)
+
+
+def _drop_poisonable_state() -> None:
+    """Reset this worker's caches after a failed shard attempt.
+
+    A failure mid-shard may have left half-built or poisoned schedule
+    state behind; recovery is re-execution from the shared weights, so
+    the cheap safe move is to drop every cache and re-attach a fresh
+    one before the retry lands here.
+    """
+    reset_worker_cache()
+    net = _STATE.get("net")
+    if net is not None and _STATE.get("use_cache"):
+        attach_engine_caches(net)
+    engine = _STATE.get("engine")
+    if engine is not None and _STATE.get("use_cache") and hasattr(engine, "cache"):
+        engine.cache = get_worker_cache()
 
 
 def init_network_worker(
@@ -87,22 +127,47 @@ def init_network_worker(
     x_spec: SharedArraySpec,
     out_spec: SharedArraySpec,
     use_cache: bool,
+    fault_plan: FaultPlan | None = None,
+    wave: int = 0,
 ) -> None:
     """Pool initializer: rebuild the net and attach shared arrays."""
+    _install_faults(fault_plan, wave)
+    if _faults.enabled():
+        _faults.fire("worker.init")
     _load_weights(skel, weight_specs)
     if use_cache:
         attach_engine_caches(skel)
     _STATE["net"] = skel
+    _STATE["use_cache"] = use_cache
     _STATE["x"] = SharedArrayView(x_spec)
+    _STATE["x"].verify()
     _STATE["out"] = SharedArrayView(out_spec)
 
 
-def run_network_shard(shard: Shard) -> int:
+def run_network_shard(shard: Shard, attempt: int = 0) -> int:
     """Evaluate one image shard; write logits into the shared output."""
     sl = shard.image_slice
-    logits = forward_logits(_STATE["net"], _STATE["x"].array[sl])
-    _STATE["out"].array[sl] = logits
+    if _faults.enabled():
+        for f in _faults.fire("worker.shard", index=shard.index, attempt=attempt):
+            _apply_shard_fault(f, _STATE["out"].array, sl)
+    try:
+        logits = forward_logits(_STATE["net"], _STATE["x"].array[sl])
+        _STATE["out"].array[sl] = logits
+    except BaseException:
+        _drop_poisonable_state()
+        raise
     return shard.index
+
+
+def _apply_shard_fault(spec, out: np.ndarray, sl) -> None:
+    """Site-specific fault actions of the ``worker.shard`` site."""
+    if spec.action == "corrupt_output":
+        # a torn write from a dying worker: scribble, then fail the
+        # attempt so the dispatcher re-executes this exact shard
+        out[sl] = np.float64(1e300)
+        raise FaultInjected("worker.shard", spec)
+    if spec.action == "poison_cache":
+        get_worker_cache().poison()
 
 
 def init_matmul_worker(
@@ -111,19 +176,36 @@ def init_matmul_worker(
     x_spec: SharedArraySpec,
     out_spec: SharedArraySpec,
     use_cache: bool,
+    fault_plan: FaultPlan | None = None,
+    wave: int = 0,
 ) -> None:
     """Pool initializer for sharded single-matmul execution."""
+    _install_faults(fault_plan, wave)
+    if _faults.enabled():
+        _faults.fire("worker.init")
     if use_cache and hasattr(engine, "cache"):
         engine.cache = get_worker_cache()
     _STATE["engine"] = engine
+    _STATE["use_cache"] = use_cache
     _STATE["w"] = SharedArrayView(w_spec)
+    _STATE["w"].verify()
     _STATE["x"] = SharedArrayView(x_spec)
+    _STATE["x"].verify()
     _STATE["out"] = SharedArrayView(out_spec)
 
 
-def run_matmul_shard(shard: Shard) -> int:
+def run_matmul_shard(shard: Shard, attempt: int = 0) -> int:
     """Compute one (tile-rows x column-block) rectangle of ``W @ X``."""
-    w = _STATE["w"].array[shard.tile_slice]
-    x = _STATE["x"].array[:, shard.image_slice]
-    _STATE["out"].array[shard.tile_slice, shard.image_slice] = _STATE["engine"].matmul(w, x)
+    if _faults.enabled():
+        for f in _faults.fire("worker.shard", index=shard.index, attempt=attempt):
+            _apply_shard_fault(
+                f, _STATE["out"].array, (shard.tile_slice, shard.image_slice)
+            )
+    try:
+        w = _STATE["w"].array[shard.tile_slice]
+        x = _STATE["x"].array[:, shard.image_slice]
+        _STATE["out"].array[shard.tile_slice, shard.image_slice] = _STATE["engine"].matmul(w, x)
+    except BaseException:
+        _drop_poisonable_state()
+        raise
     return shard.index

@@ -15,6 +15,7 @@ Start one from the CLI with ``repro serve``; see ``docs/serving.md``.
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.http import (
     ServerConfig,
     ServingServer,
@@ -30,6 +31,7 @@ from repro.serve.metrics import (
     ServiceMetrics,
 )
 from repro.serve.service import (
+    CircuitOpenError,
     DeadlineExceededError,
     InferenceService,
     QueueFullError,
@@ -54,4 +56,6 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "ShuttingDownError",
+    "CircuitBreaker",
+    "CircuitOpenError",
 ]

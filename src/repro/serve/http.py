@@ -34,7 +34,9 @@ import numpy as np
 
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.batcher import MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.service import (
+    CircuitOpenError,
     DeadlineExceededError,
     InferenceService,
     QueueFullError,
@@ -70,6 +72,13 @@ class ServerConfig:
     n_bits: int = 8
     shard_batch: int = 16
     port_file: str | None = None
+    #: consecutive engine failures before the circuit opens (0 = no breaker)
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 5.0
+    #: per-shard attempt timeout in the pool dispatcher (None = no timeout);
+    #: an overdue shard is re-dispatched instead of failing the request
+    shard_timeout_s: float | None = None
+    shard_retries: int = 3
 
 
 class _HttpError(Exception):
@@ -92,14 +101,21 @@ def build_engine(config: ServerConfig):
         get_trained_model,
     )
     from repro.nn import attach_engines
-    from repro.parallel import BatchInferenceEngine, ParallelConfig
+    from repro.parallel import BatchInferenceEngine, ParallelConfig, RetryPolicy
 
     spec = {"digits": DIGITS_QUICK_SPEC, "shapes": SHAPES_QUICK_SPEC}[config.benchmark]
     model = get_trained_model(spec)
     attach_engines(model.net, config.engine, model.ranges, n_bits=config.n_bits)
     engine = BatchInferenceEngine(
         model.net,
-        ParallelConfig(workers=config.workers, batch_size=config.shard_batch),
+        ParallelConfig(
+            workers=config.workers,
+            batch_size=config.shard_batch,
+            retry=RetryPolicy(
+                max_attempts=config.shard_retries,
+                shard_timeout_s=config.shard_timeout_s,
+            ),
+        ),
     )
     meta = {
         "benchmark": spec.name,
@@ -162,11 +178,18 @@ class ServingServer:
             max_wait_ms=self.config.max_wait_ms,
             metrics=self.metrics,
         )
+        breaker = None
+        if self.config.breaker_threshold > 0:
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
         self.service = InferenceService(
             self.batcher,
             queue_depth=self.config.queue_depth,
             default_deadline_ms=self.config.default_deadline_ms,
             metrics=self.metrics,
+            breaker=breaker,
         )
         await self.service.start()
         self._server = await asyncio.start_server(
@@ -298,6 +321,9 @@ class ServingServer:
             "inflight": self.service.inflight if self.service else 0,
             "accepted": self.service.accepted if self.service else 0,
         }
+        breaker = self.service.breaker if self.service else None
+        if breaker is not None:
+            doc["circuit"] = breaker.describe()
         return (200 if ready else 503), _json_body(doc), "application/json", {}
 
     async def _predict(self, headers, body):
@@ -338,6 +364,10 @@ class ServingServer:
             }
         except DeadlineExceededError as exc:
             return 504, _json_body({"error": str(exc)}), "application/json", {}
+        except CircuitOpenError as exc:
+            return 503, _json_body({"error": str(exc)}), "application/json", {
+                "Retry-After": str(max(1, int(-(-exc.retry_after_s // 1))))
+            }
         except ShuttingDownError as exc:
             return 503, _json_body({"error": str(exc)}), "application/json", {}
         except Exception as exc:  # engine failure: answer, don't hang

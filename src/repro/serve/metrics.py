@@ -256,6 +256,8 @@ class ServiceMetrics:
         for endpoint, code in (
             ("/v1/predict", "200"),
             ("/v1/predict", "429"),
+            ("/v1/predict", "500"),
+            ("/v1/predict", "503"),
             ("/v1/predict", "504"),
             ("/healthz", "200"),
             ("/metrics", "200"),
@@ -266,7 +268,7 @@ class ServiceMetrics:
             "Requests refused at admission, by reason.",
             ("reason",),
         )
-        for reason in ("backpressure", "deadline", "shutdown"):
+        for reason in ("backpressure", "circuit", "deadline", "shutdown"):
             self.rejected_total.declare(reason)
         self.inflight = r.gauge(
             "repro_requests_inflight",
@@ -275,6 +277,14 @@ class ServiceMetrics:
         self.ready = r.gauge(
             "repro_service_ready",
             "1 once the engine is warm and the batcher is running, else 0.",
+        )
+        self.circuit_state = r.gauge(
+            "repro_circuit_state",
+            "Engine circuit breaker: 0 closed, 1 half-open, 2 open.",
+        )
+        self.circuit_opened_total = r.counter(
+            "repro_circuit_opened_total",
+            "Times the engine circuit breaker tripped open.",
         )
         self.request_latency = r.histogram(
             "repro_request_latency_seconds",
@@ -338,6 +348,11 @@ class ServiceMetrics:
         """Instrument a :class:`~repro.parallel.cache.ScheduleCache`."""
         cache.hook = self.cache_hook
         self.cache_layers.callback = lambda: cache.stats()["layers"]
+
+    def attach_breaker(self, breaker) -> None:
+        """Mirror a :class:`~repro.serve.breaker.CircuitBreaker`'s state."""
+        codes = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+        self.circuit_state.callback = lambda: codes[breaker.state]
 
     def render(self) -> str:
         return self.registry.render()

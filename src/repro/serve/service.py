@@ -14,7 +14,12 @@ batcher.  It enforces three rules:
 * **drain** — :meth:`drain` stops admission (new requests get
   :class:`ShuttingDownError`, HTTP 503) and then flushes every
   *accepted* request through the batcher before returning, so a
-  SIGTERM never drops admitted work.
+  SIGTERM never drops admitted work;
+* **circuit breaking** — consecutive engine failures trip an optional
+  :class:`~repro.serve.breaker.CircuitBreaker`; while open, requests
+  are refused up front with :class:`CircuitOpenError` (HTTP 503 +
+  ``Retry-After``) and a single half-open probe per cooldown tests
+  whether the engine recovered.
 
 Admission check and enqueue happen without an intervening ``await``,
 so on a single event loop an admitted request is always enqueued
@@ -25,7 +30,9 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.faults import hooks as _faults
 from repro.serve.batcher import MicroBatcher
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import ServiceMetrics
 
 __all__ = [
@@ -33,6 +40,7 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "ShuttingDownError",
+    "CircuitOpenError",
     "InferenceService",
 ]
 
@@ -57,6 +65,16 @@ class ShuttingDownError(ServiceError):
     """The service is draining and no longer accepts requests."""
 
 
+class CircuitOpenError(ServiceError):
+    """The engine circuit is open; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"engine circuit open; retry in {max(retry_after_s, 0.0):.1f}s"
+        )
+        self.retry_after_s = max(retry_after_s, 0.0)
+
+
 class InferenceService:
     """Bounded-admission wrapper over one :class:`MicroBatcher`."""
 
@@ -66,13 +84,17 @@ class InferenceService:
         queue_depth: int = 64,
         default_deadline_ms: float | None = None,
         metrics: ServiceMetrics | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self.batcher = batcher
         self.queue_depth = queue_depth
         self.default_deadline_ms = default_deadline_ms
+        self.breaker = breaker
         self.metrics = metrics or batcher.metrics
+        if breaker is not None:
+            self.metrics.attach_breaker(breaker)
         self.inflight = 0
         self.accepted = 0
         self._draining = False
@@ -110,10 +132,19 @@ class InferenceService:
         Raises one of the :class:`ServiceError` subclasses on refusal.
         """
         m = self.metrics
+        if _faults.enabled():
+            _faults.fire("serve.request")
         if self._draining or not self.batcher.is_running:
             m.rejected_total.inc(1.0, "shutdown")
             raise ShuttingDownError("service is draining")
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            m.rejected_total.inc(1.0, "circuit")
+            raise CircuitOpenError(breaker.retry_after_s)
         if self.inflight >= self.queue_depth:
+            # release a probe slot the allow() above may have claimed
+            if breaker is not None:
+                breaker.record_inconclusive()
             m.rejected_total.inc(1.0, "backpressure")
             raise QueueFullError(self.inflight, self.retry_after_s)
         m.queue_depth.observe(self.inflight)
@@ -134,12 +165,27 @@ class InferenceService:
                 try:
                     result = await asyncio.wait_for(future, deadline_ms / 1000.0)
                 except (asyncio.TimeoutError, TimeoutError):
+                    # a client-budget expiry says nothing about engine
+                    # health — release the probe slot, don't trip
+                    if breaker is not None:
+                        breaker.record_inconclusive()
                     m.rejected_total.inc(1.0, "deadline")
                     raise DeadlineExceededError(
                         f"deadline of {deadline_ms:g} ms expired"
                     ) from None
-            m.request_latency.observe(loop.time() - t0)
-            return result
+        except ServiceError:
+            raise
+        except Exception:
+            if breaker is not None:
+                opened_before = breaker.opened_total
+                breaker.record_failure()
+                if breaker.opened_total != opened_before:
+                    m.circuit_opened_total.inc()
+            raise
         finally:
             self.inflight -= 1
             m.inflight.dec()
+        if breaker is not None:
+            breaker.record_success()
+        m.request_latency.observe(loop.time() - t0)
+        return result

@@ -167,6 +167,41 @@ class TestCorruptionMatrix:
         out = store.load_checkpoint("k", spec_fingerprint="fp")
         assert META_KEY not in out
 
+    def test_sigkill_mid_rename_leaves_old_checkpoint_intact(self, store):
+        """A writer SIGKILLed at the rename point leaves only tmp
+        litter: the published artifact is still the previous, valid
+        payload, and later writers are unaffected."""
+        arrays = _arrays()
+        store.save_checkpoint("k", arrays, spec_fingerprint="fp")
+        script = (
+            "import os, signal, sys\n"
+            "sys.path.insert(0, {src!r})\n"
+            "from pathlib import Path\n"
+            "from repro.experiments.artifacts import atomic_write_bytes\n"
+            "os.replace = lambda a, b: os.kill(os.getpid(), signal.SIGKILL)\n"
+            "atomic_write_bytes(Path(sys.argv[1]), b'must never be published')\n"
+        ).format(src=str(Path(__file__).resolve().parents[2] / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(store.checkpoint_path("k"))]
+        )
+        assert proc.wait(timeout=120) == -9  # died exactly mid-rename
+        assert list(store.root.glob("*.tmp")), "expected the orphaned tmp file"
+        out = store.load_checkpoint("k", spec_fingerprint="fp", expected_params=3)
+        assert out is not None and np.array_equal(out["p0"], arrays["p0"])
+        # the litter does not poison later writes to the same key
+        store.save_checkpoint("k", _arrays(2), spec_fingerprint="fp2")
+        assert store.load_checkpoint("k", spec_fingerprint="fp2") is not None
+
+    def test_partial_sidecar_quarantines(self, store):
+        """A sidecar torn mid-write (half a hash) must read as corrupt."""
+        store.save_checkpoint("k", _arrays(), spec_fingerprint="fp")
+        sidecar = store.checkpoint_path("k").with_suffix(".npz.sha256")
+        sidecar.write_text(sidecar.read_text()[: len(sidecar.read_text()) // 2])
+        status, reason = store.check_checkpoint("k")
+        assert status == "corrupt"
+        assert store.load_checkpoint("k") is None
+        self._assert_quarantined(store, "k")
+
 
 class TestLocking:
     def test_lock_reentrant_across_keys(self, store):
@@ -224,6 +259,23 @@ class TestSelfHealingTraining:
         with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
             get_trained_model(changed)
         assert "event=quarantine" in caplog.text
+
+    def test_partial_sidecar_retrains(self, store, caplog):
+        """Self-heal through the torn-sidecar case end to end."""
+        get_trained_model(TINY_SPEC)  # write a valid checkpoint
+        sidecar = store.checkpoint_path(TINY_SPEC.name).with_suffix(
+            ".npz.sha256"
+        )
+        sidecar.write_text(sidecar.read_text()[:20])
+        with caplog.at_level(logging.INFO, logger="repro.artifacts"):
+            model = get_trained_model(TINY_SPEC)
+        assert model.float_accuracy >= 0.0
+        assert "event=quarantine" in caplog.text
+        assert "event=retrain" in caplog.text
+        status, _ = store.check_checkpoint(
+            TINY_SPEC.name, spec_fingerprint=TINY_SPEC.fingerprint()
+        )
+        assert status == "ok"
 
     def test_healed_cache_is_a_hit(self, store, caplog):
         get_trained_model(TINY_SPEC)

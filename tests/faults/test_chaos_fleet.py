@@ -1,0 +1,83 @@
+"""The chaos fleet: randomized fault schedules, one invariant.
+
+``random_plan(seed)`` draws a recoverable schedule — crashes, delays,
+raises, torn outputs, poisoned caches on concrete shards, first attempt
+only — and every schedule must satisfy the same contract the fixed
+scenarios pin: the recovered result is bit-exact against the serial
+reference, with no orphaned workers and no leaked segments (enforced by
+the autouse sentries in ``conftest.py``).
+
+Seeds come from three sources:
+
+* the fixed tier (``DEFAULT_SEEDS``) runs on every PR via the CI
+  ``chaos`` job;
+* ``REPRO_CHAOS_SEEDS`` overrides them — the nightly job injects a
+  fresh random seed here, and a human replays a failure the same way;
+* Hypothesis draws more seeds on top, shrinking to the smallest
+  failing one.
+
+A failing test dumps its plan JSON (see ``pytest_runtest_makereport``
+in ``conftest.py``) for replay via the ``REPRO_FAULTS`` env var.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import hooks, random_plan
+from repro.nn.engines import ProposedScEngine
+from repro.parallel import ParallelConfig, RetryPolicy, parallel_matmul, predict_logits
+
+from tests.faults.conftest import chaos_seeds
+
+pytestmark = pytest.mark.chaos
+
+#: 6 images at batch_size=2 -> 3 shards; budgets sized so any single
+#: recoverable schedule fits (one respawn wave retires every
+#: first-attempt crash at once).
+CFG = ParallelConfig(
+    workers=2,
+    batch_size=2,
+    retry=RetryPolicy(max_attempts=4, max_pool_respawns=2, backoff_base_s=0.01),
+)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_fixed_seed_schedule_recovers_bit_exact(seed, net, images, serial_logits):
+    plan = random_plan(seed, n_shards=3)
+    with hooks.injected(plan):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits), plan.describe()
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_hypothesis_drawn_schedules_recover_bit_exact(
+    seed, net, images, serial_logits
+):
+    plan = random_plan(seed, n_shards=3)
+    with hooks.injected(plan):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits), plan.describe()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_fixed_seed_schedule_matmul_bit_exact(seed):
+    engine = ProposedScEngine(n_bits=8)
+    data = np.random.default_rng(12345)
+    w = data.normal(0.0, 0.3, size=(8, 16))
+    x = data.normal(0.0, 0.3, size=(16, 12))
+    ref = engine.matmul(w, x)
+    cfg = ParallelConfig(workers=2, batch_size=4, tile_size=4, retry=CFG.retry)
+    # batch_size=4 over 12 columns x tile_size=4 over 8 rows -> 6 shards
+    plan = random_plan(seed, n_shards=6)
+    with hooks.injected(plan):
+        out = parallel_matmul(engine, w, x, cfg)
+    assert np.array_equal(out, ref), plan.describe()

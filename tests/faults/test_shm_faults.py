@@ -1,0 +1,132 @@
+"""Shared-memory integrity and leak behaviour under faults.
+
+Covers the three shm failure classes end to end — truncation at
+attach, content corruption against the recorded CRC-32, and the leak
+path where a worker dies between attach and close — plus the
+parent-side ledger/sweep backstop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, hooks
+from repro.parallel import (
+    ParallelConfig,
+    SegmentCorruptError,
+    SegmentTruncatedError,
+    SharedArrayPool,
+    SharedArraySpec,
+    SharedArrayView,
+    live_segments,
+    predict_logits,
+    sweep_segments,
+)
+
+pytestmark = pytest.mark.chaos
+
+CFG = ParallelConfig(workers=2, batch_size=2)
+
+
+def test_share_records_label_and_crc(rng):
+    with SharedArrayPool() as pool:
+        data = rng.normal(size=(4, 5))
+        spec = pool.share("w0", data)
+        assert spec.label == "w0"
+        assert spec.crc is not None
+        with SharedArrayView(spec) as view:
+            view.verify()  # pristine content passes
+            assert np.array_equal(view.array, data)
+
+
+def test_verify_detects_torn_content(rng):
+    with SharedArrayPool() as pool:
+        spec = pool.share("w0", rng.normal(size=(4, 5)))
+        pool.array("w0")[0, 0] += 1.0  # tear the shared content post-share
+        with SharedArrayView(spec) as view:
+            with pytest.raises(SegmentCorruptError, match="checksum"):
+                view.verify()
+
+
+def test_attach_detects_genuine_truncation(rng):
+    with SharedArrayPool() as pool:
+        spec = pool.share("x", rng.normal(size=(2, 3)))
+        # a spec promising more bytes than the segment holds
+        lying = SharedArraySpec(spec.name, (1000, 1000), spec.dtype, label="x")
+        with pytest.raises(SegmentTruncatedError, match="promises"):
+            SharedArrayView(lying)
+
+
+def test_zero_size_specs_skip_the_segment_entirely():
+    with SharedArrayPool() as pool:
+        spec = pool.share("empty", np.empty((0, 7)))
+        view = SharedArrayView(spec)
+        assert view.shm is None and view.array.shape == (0, 7)
+        view.verify()
+        view.close()
+
+
+def test_injected_bitflip_recovers_bit_exact(net, images, serial_logits):
+    """A flipped byte in a weight segment fails the spawn's CRC check;
+    the respawn wave rebuilds fresh segments from the parent arrays."""
+    plan = FaultPlan(specs=(FaultSpec("shm.attach", "bitflip", key="w0", attempt=0),))
+    with hooks.injected(plan):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits)
+
+
+def test_injected_truncation_recovers_bit_exact(net, images, serial_logits):
+    plan = FaultPlan(specs=(FaultSpec("shm.attach", "truncate", key="x", attempt=0),))
+    with hooks.injected(plan):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits)
+
+
+def _attach_and_die(spec: SharedArraySpec) -> None:
+    """Child body: attach a view, then die hard between attach and close."""
+    view = SharedArrayView(spec)
+    assert view.array.size  # the mapping is genuinely live
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_worker_sigkilled_between_attach_and_close_leaks_nothing(rng):
+    """Regression: a SIGKILLed attacher must not unlink the segment out
+    from under the parent (resource-tracker double-registration), and
+    the parent's close must still free it system-wide."""
+    ctx = multiprocessing.get_context("fork")
+    with SharedArrayPool() as pool:
+        spec = pool.share("w0", rng.normal(size=(64, 64)))
+        child = ctx.Process(target=_attach_and_die, args=(spec,))
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+        # parent still owns and can read the segment
+        with SharedArrayView(spec) as view:
+            view.verify()
+    assert spec.name not in os.listdir("/dev/shm")
+    assert spec.name not in live_segments()
+
+
+def test_sweep_segments_reclaims_abandoned_allocations(rng):
+    """The atexit backstop: segments alive in the ledger get unlinked."""
+    pool = SharedArrayPool()  # deliberately not a context manager
+    spec = pool.share("w0", rng.normal(size=(8, 8)))
+    assert spec.name in live_segments()
+    swept = sweep_segments()
+    assert spec.name in swept
+    assert spec.name not in os.listdir("/dev/shm")
+    # close() after the sweep must tolerate the already-unlinked segment
+    pool.close()
+
+
+def test_pool_context_exit_clears_ledger(rng):
+    with SharedArrayPool() as pool:
+        spec = pool.share("x", rng.normal(size=(4, 4)))
+        assert spec.name in live_segments()
+    assert spec.name not in live_segments()
+    assert sweep_segments() == []

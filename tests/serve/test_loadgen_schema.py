@@ -1,0 +1,50 @@
+"""Schema and determinism guarantees of the load generator's report.
+
+The BENCH json rows produced by ``snapshot.py --suite pr4`` embed a
+:class:`LoadReport` dict; the golden file pins its field set (name and
+type) so a field rename or type drift is caught before it silently
+breaks the bench-comparison tooling.  The seed lives in that schema so
+any recorded run can be replayed with identical request bytes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.loadgen import LoadReport, make_payload
+
+
+def sample_report() -> LoadReport:
+    return LoadReport(
+        offered_rps=50.0,
+        duration_s=2.0,
+        images_per_request=2,
+        seed=1234,
+        sent=100,
+        completed=99,
+        errors=1,
+        status_counts={"200": 99},
+        achieved_rps=49.5,
+        images_per_sec=99.0,
+        latency_p50_ms=3.0,
+        latency_p95_ms=9.0,
+        latency_p99_ms=12.0,
+        latency_mean_ms=4.0,
+    )
+
+
+def test_report_schema_golden(golden):
+    doc = sample_report().to_dict()
+    schema = "".join(
+        f"{name}: {type(value).__name__}\n" for name, value in sorted(doc.items())
+    )
+    golden.check("loadgen_report_schema.txt", schema)
+
+
+def test_report_records_its_seed():
+    doc = sample_report().to_dict()
+    assert doc["seed"] == 1234
+
+
+def test_payload_is_deterministic_per_seed():
+    shape = (1, 28, 28)
+    assert make_payload(shape, 2, seed=7) == make_payload(shape, 2, seed=7)
+    assert make_payload(shape, 2, seed=7) != make_payload(shape, 2, seed=8)
