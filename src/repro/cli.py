@@ -8,7 +8,9 @@ Commands
 ``serve``      async HTTP inference service (micro-batching + /metrics)
 ``rtl``        emit the Verilog RTL project
 ``info``       version, experiment list, benchmark specs
-``cache``      inspect/verify/clear the checkpoint artifact store
+``cache``      inspect/verify/clear the checkpoint artifact store;
+               ``cache compile``/``cache inspect`` manage the
+               precompiled schedule artifacts pool workers attach to
 """
 
 from __future__ import annotations
@@ -128,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="attempts per shard before the engine call fails",
     )
+    p_srv.add_argument(
+        "--no-precompile",
+        action="store_true",
+        help="skip compiling/loading the schedule artifact before serving "
+        "(workers rebuild schedules on demand)",
+    )
 
     p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
     p_rtl.add_argument("--out", default="rtl", help="output directory")
@@ -148,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--quarantined",
         action="store_true",
         help="only delete quarantined (*.corrupt) files",
+    )
+    p_compile = cache_sub.add_parser(
+        "compile", help="compile a benchmark's schedule artifact ahead of time"
+    )
+    p_compile.add_argument("--benchmark", choices=("digits", "shapes"), default="digits")
+    p_compile.add_argument("--engine", default="proposed-sc", help="conv arithmetic")
+    p_compile.add_argument("--n-bits", type=int, default=8, help="precision incl. sign")
+    p_compile.add_argument("--key", default=None, help="override the artifact store key")
+    p_inspect = cache_sub.add_parser(
+        "inspect", help="parse + validate stored schedule artifacts"
+    )
+    p_inspect.add_argument(
+        "--key", default=None, help="inspect one artifact (default: all *.sched blobs)"
     )
     return parser
 
@@ -262,6 +283,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_s=args.breaker_cooldown_s,
         shard_timeout_s=args.shard_timeout_s,
         shard_retries=args.shard_retries,
+        precompile=not args.no_precompile,
     )
     return run_server(config)
 
@@ -311,7 +333,74 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.cache_command == "clear":
         removed = store.clear(quarantined_only=args.quarantined)
         print(f"removed {removed} file(s)")
+    elif args.cache_command == "compile":
+        return _cache_compile(args, store)
+    elif args.cache_command == "inspect":
+        return _cache_inspect(args, store)
     return 0
+
+
+def _cache_compile(args: argparse.Namespace, store) -> int:
+    import time
+
+    from repro.experiments.common import (
+        DIGITS_QUICK_SPEC,
+        SHAPES_QUICK_SPEC,
+        get_trained_model,
+    )
+    from repro.nn import attach_engines
+    from repro.parallel import ensure_compiled, schedule_artifact_key
+
+    spec = DIGITS_QUICK_SPEC if args.benchmark == "digits" else SHAPES_QUICK_SPEC
+    model = get_trained_model(spec)
+    attach_engines(model.net, args.engine, model.ranges, n_bits=args.n_bits)
+    key = args.key or schedule_artifact_key(spec.name, args.engine, args.n_bits)
+    t0 = time.perf_counter()
+    compiled = ensure_compiled(model.net, store, key)
+    dt = time.perf_counter() - t0
+    print(
+        f"compiled {key}: {len(compiled)} entries, "
+        f"{compiled.nbytes} bytes in {dt:.3f}s"
+    )
+    return 0
+
+
+def _cache_inspect(args: argparse.Namespace, store) -> int:
+    from repro.parallel import CompiledSchedules
+
+    if args.key is not None:
+        keys = [args.key]
+    else:
+        suffix = ".sched"
+        keys = [
+            info.name[: -len(suffix)]
+            for info in store.ls()
+            if info.kind == "schedule"
+        ]
+    if not keys:
+        print("(no schedule artifacts)")
+        return 0
+    bad = 0
+    for key in keys:
+        blob = store.load_blob(key)
+        if blob is None:
+            print(f"{key}: missing or quarantined")
+            bad += 1
+            continue
+        try:
+            compiled = CompiledSchedules(blob)
+            compiled.validate()
+        except Exception as exc:
+            print(f"{key}: INVALID ({type(exc).__name__}: {exc})")
+            bad += 1
+            continue
+        d = compiled.describe()
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(d["kinds"].items()))
+        print(
+            f"{key}: format v{d['version']}, {d['entries']} entries "
+            f"({kinds}), {d['nbytes']} bytes"
+        )
+    return 1 if bad else 0
 
 
 def _cmd_info(_: argparse.Namespace) -> int:

@@ -44,6 +44,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.errors import ArtifactVersionError
+
 try:  # POSIX only; the store degrades to lockless on other platforms
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX
@@ -54,6 +56,7 @@ __all__ = [
     "META_KEY",
     "ArtifactInfo",
     "ArtifactStore",
+    "ArtifactVersionError",
     "atomic_write_bytes",
     "atomic_write_text",
     "fingerprint",
@@ -71,6 +74,7 @@ META_KEY = "__artifact_meta__"
 _SIDECAR_SUFFIX = ".sha256"
 _QUARANTINE_SUFFIX = ".corrupt"
 _LOCK_SUFFIX = ".lock"
+_BLOB_SUFFIX = ".sched"
 
 
 def _event(level: int, event: str, key: str, **fields: Any) -> None:
@@ -164,6 +168,9 @@ class ArtifactStore:
     # paths
     def checkpoint_path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
+
+    def blob_path(self, key: str) -> Path:
+        return self.root / f"{key}{_BLOB_SUFFIX}"
 
     def _sidecar_path(self, path: Path) -> Path:
         return path.with_name(path.name + _SIDECAR_SUFFIX)
@@ -295,7 +302,9 @@ class ArtifactStore:
 
     def quarantine(self, key: str, reason: str = "") -> Path | None:
         """Move a bad checkpoint aside to ``*.corrupt`` (never raises)."""
-        path = self.checkpoint_path(key)
+        return self._quarantine_file(self.checkpoint_path(key), key, reason)
+
+    def _quarantine_file(self, path: Path, key: str, reason: str) -> Path | None:
         dest = path.with_name(path.name + _QUARANTINE_SUFFIX)
         try:
             os.replace(path, dest)
@@ -310,6 +319,64 @@ class ArtifactStore:
             reason=repr(reason),
         )
         return dest
+
+    # ------------------------------------------------------------------
+    # opaque binary blobs (compiled schedule artifacts)
+    def save_blob(self, key: str, data: bytes) -> Path:
+        """Atomically persist one binary blob plus SHA-256 sidecar.
+
+        Blob contents are opaque to the store (the schedule-artifact
+        framing lives in :mod:`repro.parallel.compiled`); the store only
+        guarantees atomicity and byte integrity.
+        """
+        path = self.blob_path(key)
+        atomic_write_bytes(path, data)
+        atomic_write_text(
+            self._sidecar_path(path), f"{_sha256_hex(data)}  {path.name}\n"
+        )
+        _event(logging.INFO, "save", key, kind="schedule", bytes=len(data))
+        return path
+
+    def load_blob(self, key: str) -> np.ndarray | None:
+        """Memory-map one verified blob, or ``None`` after quarantining.
+
+        Returns a read-only ``uint8`` memmap so multi-megabyte schedule
+        artifacts are paged in lazily and shared between processes by
+        the OS page cache.  A missing sidecar is tolerated (legacy /
+        hand-placed blob); a mismatching one quarantines the file.
+        """
+        path = self.blob_path(key)
+        if not path.exists():
+            _event(logging.INFO, "miss", key, kind="schedule")
+            return None
+        try:
+            data = path.read_bytes()
+        except OSError as exc:  # pragma: no cover - permissions etc.
+            _event(logging.WARNING, "corrupt", key, reason=repr(str(exc)))
+            return None
+        sidecar = self._sidecar_path(path)
+        if sidecar.exists():
+            recorded = sidecar.read_text().split()
+            if not recorded or recorded[0] != _sha256_hex(data):
+                self._quarantine_file(path, key, "SHA-256 sidecar mismatch")
+                return None
+        _event(logging.INFO, "hit", key, kind="schedule", bytes=len(data))
+        if len(data) == 0:
+            return np.zeros(0, dtype=np.uint8)
+        blob = np.memmap(path, dtype=np.uint8, mode="r")
+        return blob
+
+    def _check_blob(self, path: Path) -> tuple[str, str]:
+        try:
+            data = path.read_bytes()
+        except OSError as exc:  # pragma: no cover - permissions etc.
+            return "corrupt", f"unreadable: {exc}"
+        sidecar = self._sidecar_path(path)
+        if sidecar.exists():
+            recorded = sidecar.read_text().split()
+            if not recorded or recorded[0] != _sha256_hex(data):
+                return "corrupt", "SHA-256 sidecar mismatch"
+        return "ok", ""
 
     # ------------------------------------------------------------------
     # JSON results
@@ -332,6 +399,7 @@ class ArtifactStore:
         kinds = {
             ".npz": "checkpoint",
             ".json": "result",
+            _BLOB_SUFFIX: "schedule",
             _QUARANTINE_SUFFIX: "quarantined",
             _SIDECAR_SUFFIX: "sidecar",
             _LOCK_SUFFIX: "lock",
@@ -363,6 +431,9 @@ class ArtifactStore:
                 out.append(dataclasses.replace(info, status=status, reason=reason))
             elif info.kind == "result":
                 status, reason = self._check_result(self.root / info.name)
+                out.append(dataclasses.replace(info, status=status, reason=reason))
+            elif info.kind == "schedule":
+                status, reason = self._check_blob(self.root / info.name)
                 out.append(dataclasses.replace(info, status=status, reason=reason))
             elif info.kind == "quarantined":
                 out.append(dataclasses.replace(info, status="quarantined"))

@@ -41,6 +41,7 @@ SITES = (
     "worker.shard",  # per shard attempt, inside the pool worker
     "worker.init",  # pool-worker initializer, once per spawn wave
     "shm.attach",  # SharedArrayView attach, per segment
+    "cache.attach",  # compiled-schedule artifact attach, per worker init
     "engine.dispatch",  # parent-side, once per engine dispatch
     "serve.request",  # admission layer, once per accepted request
 )

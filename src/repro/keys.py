@@ -1,0 +1,100 @@
+"""Canonical content keys for schedule state.
+
+Every piece of content-keyed schedule state — per-layer appearance-count
+coefficient matrices, FSM select/bit schedules, LFSR up/down tables and
+state orbits — is addressed by one string key produced here, so the
+ahead-of-time compiled artifact (:mod:`repro.parallel.compiled`), the
+in-process :class:`~repro.parallel.cache.ScheduleCache` and the orbit
+cache in :mod:`repro.sc.lfsr` all agree on what "the same schedule"
+means.  Before this module each cache hashed its own tuple of inputs
+(and the LFSR keying omitted the tap polynomial entirely), so caches
+could never share entries and orbits were rebuilt per process.
+
+Keys are ``"<kind>:<sha1-hex>"``: readable enough to group by kind in
+logs and ``repro cache inspect``, stable across processes and runs.
+This module is a leaf — it imports nothing from :mod:`repro` — so every
+layer (``sc``, ``core``, ``parallel``, ``experiments``) can use it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "content_key",
+    "layer_digest",
+    "bit_table_key",
+    "select_key",
+    "ud_table_key",
+    "orbit_key",
+]
+
+
+def _feed(h, part) -> None:
+    """Hash one key component with an unambiguous type/shape prefix."""
+    if isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        h.update(f"nd|{arr.dtype.str}|{arr.shape}|".encode())
+        h.update(arr.tobytes())
+    elif isinstance(part, (tuple, list)):
+        h.update(f"seq|{len(part)}|".encode())
+        for item in part:
+            _feed(h, item)
+    else:
+        h.update(f"{type(part).__name__}|{part}|".encode())
+
+
+def content_key(kind: str, *parts) -> str:
+    """``"<kind>:<sha1>"`` over the typed, shape-tagged ``parts``."""
+    h = hashlib.sha1(f"{kind}|".encode())
+    for part in parts:
+        _feed(h, part)
+    return f"{kind}:{h.hexdigest()}"
+
+
+def layer_digest(w_int: np.ndarray, n_bits: int) -> str:
+    """Content key of one weight matrix's coefficient schedule.
+
+    Keyed by the quantized weight *bytes* (plus dtype/shape via
+    :func:`content_key`) and the precision, so in-place weight mutation
+    can never serve a stale schedule — the contract the stateful cache
+    fleet pins.
+    """
+    w = np.ascontiguousarray(np.asarray(w_int, dtype=np.int64))
+    return content_key("layer", w, int(n_bits))
+
+
+def bit_table_key(n_bits: int) -> str:
+    """Key of the ``(N, 2**N)`` MSB-first offset-word bit matrix."""
+    return content_key("bit-table", int(n_bits))
+
+
+def select_key(k: int, n_bits: int) -> str:
+    """Key of the MUX select schedule for a ``(k, N)`` counter load."""
+    return content_key("select", int(k), int(n_bits))
+
+
+def ud_table_key(
+    n_bits: int,
+    seed_w: int,
+    seed_x: int,
+    taps_w: tuple[int, ...],
+    taps_x: tuple[int, ...],
+) -> str:
+    """Key of the shared-LFSR XNOR up/down table.
+
+    The tap polynomials are part of the key — the orbit fingerprint —
+    because two LFSRs with equal seeds but different feedback produce
+    entirely different sequences.  (The pre-unification caches keyed on
+    ``(n_bits, seed_w, seed_x)`` only.)
+    """
+    return content_key(
+        "ud-table", int(n_bits), int(seed_w), int(seed_x), tuple(taps_w), tuple(taps_x)
+    )
+
+
+def orbit_key(n_bits: int, taps: tuple[int, ...]) -> str:
+    """Key of one LFSR state orbit (cyclic state sequence)."""
+    return content_key("lfsr-orbit", int(n_bits), tuple(taps))

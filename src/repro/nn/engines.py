@@ -160,6 +160,12 @@ class LfsrScEngine(MatmulEngine):
     across the array, so every MAC sees the same two sequences — the
     accuracy-vs-cost trade-off of Section 1).  The raw count is twice
     the product in output LSBs; accumulation halves at readout.
+
+    The table is built lazily on first use and, like
+    :class:`ProposedScEngine`'s schedules, is served by the per-worker
+    :class:`~repro.parallel.cache.ScheduleCache` when ``cache`` is set —
+    including out of a precompiled artifact.  Neither the cache nor the
+    table survives pickling, so spawning a pool ships only the seeds.
     """
 
     def __init__(
@@ -167,6 +173,7 @@ class LfsrScEngine(MatmulEngine):
         seed_w: int | None = None,
         seed_x: int | None = None,
         chunk: int = 16,
+        cache=None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -176,13 +183,32 @@ class LfsrScEngine(MatmulEngine):
             auto_w, auto_x = select_low_bias_seeds(self.n_bits)
             seed_w = auto_w if seed_w is None else seed_w
             seed_x = auto_x if seed_x is None else seed_x
-        #: up/down count per pair == 2 * product in output LSBs
-        self.ud_table = lfsr_ud_table(self.n_bits, seed_w, seed_x)
+        self.seed_w = int(seed_w)
+        self.seed_x = int(seed_x)
+        self.cache = cache
+        self._ud_table: np.ndarray | None = None
+
+    @property
+    def ud_table(self) -> np.ndarray:
+        """Up/down count per pair == 2 * product in output LSBs (lazy)."""
+        if self._ud_table is None:
+            if self.cache is not None:
+                self._ud_table = self.cache.ud_table(self.n_bits, self.seed_w, self.seed_x)
+            else:
+                self._ud_table = lfsr_ud_table(self.n_bits, self.seed_w, self.seed_x)
+        return self._ud_table
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["cache"] = None
+        state["_ud_table"] = None
+        return state
 
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
         w_int, x_int = self._quantize(w, x)
         w_off = to_offset_binary(w_int, self.n_bits)
         x_off = to_offset_binary(x_int, self.n_bits)
+        table = self.ud_table
         m, d = w_off.shape
         _, p = x_off.shape
         # Raw up/down counts are double-scale: widen limits by one bit.
@@ -191,12 +217,12 @@ class LfsrScEngine(MatmulEngine):
         acc = np.zeros((m, p), dtype=np.int64)
         if self.saturate == "term":
             for j in range(d):
-                term = self.ud_table[w_off[:, j : j + 1], x_off[j : j + 1, :]]
+                term = table[w_off[:, j : j + 1], x_off[j : j + 1, :]]
                 acc = np.clip(acc + term, lo, hi)
         else:
             for j0 in range(0, d, self.chunk):
                 j1 = min(j0 + self.chunk, d)
-                terms = self.ud_table[w_off[:, j0:j1, None], x_off[None, j0:j1, :]]
+                terms = table[w_off[:, j0:j1, None], x_off[None, j0:j1, :]]
                 acc = acc + terms.sum(axis=1)
             if self.saturate == "final":
                 acc = np.clip(acc, lo, hi)

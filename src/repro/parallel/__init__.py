@@ -10,8 +10,21 @@ fault-tolerance contract, and the test fleets that enforce both.
 from repro.parallel.cache import (
     CachePoisonedError,
     ScheduleCache,
+    active_compiled,
+    attach_compiled,
+    detach_compiled,
     get_worker_cache,
     reset_worker_cache,
+)
+from repro.parallel.compiled import (
+    CompiledSchedules,
+    ScheduleArtifactError,
+    ScheduleEntry,
+    compile_network_schedules,
+    ensure_compiled,
+    schedule_artifact_key,
+    schedule_manifest,
+    serialize_schedules,
 )
 from repro.parallel.engine import (
     BatchInferenceEngine,
@@ -53,6 +66,17 @@ __all__ = [
     "ScheduleCache",
     "get_worker_cache",
     "reset_worker_cache",
+    "active_compiled",
+    "attach_compiled",
+    "detach_compiled",
+    "CompiledSchedules",
+    "ScheduleArtifactError",
+    "ScheduleEntry",
+    "compile_network_schedules",
+    "ensure_compiled",
+    "schedule_artifact_key",
+    "schedule_manifest",
+    "serialize_schedules",
     "ParallelConfig",
     "ShardFailedError",
     "PoolRespawnError",

@@ -22,11 +22,19 @@ redundant cost, so each worker keeps one :class:`ScheduleCache`:
 small integers, so the float32/float64 GEMM is exact (every partial sum
 is an exactly-representable integer) and the result is identical down
 to the last LSB.  The parity fleet in ``tests/parallel`` pins this.
+
+Since PR 6 the cache is a *thin view* over an optional compiled
+artifact (:mod:`repro.parallel.compiled`): every lookup first checks
+the read-only precompiled entry set shared by all workers, and only
+falls back to an on-demand build — counted in ``stats()["rebuilds"]`` —
+on artifact miss.  Compiled entries are served directly from the
+artifact buffer (zero copies into the local dicts), so poisoning the
+local cache can never corrupt them and dropping the cache after a fault
+re-attaches warm.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 
 import numpy as np
@@ -35,9 +43,19 @@ from repro.core.accumulator import check_acc_bits
 from repro.core.fsm_generator import coefficient_vector
 from repro.core.kernels import select_schedule
 from repro.core.mvm import sc_matmul
+from repro.keys import bit_table_key, layer_digest, select_key, ud_table_key
 from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
+from repro.sc.lfsr import _ALT_TAPS, MAXIMAL_TAPS
 
-__all__ = ["CachePoisonedError", "ScheduleCache", "get_worker_cache", "reset_worker_cache"]
+__all__ = [
+    "CachePoisonedError",
+    "ScheduleCache",
+    "active_compiled",
+    "attach_compiled",
+    "detach_compiled",
+    "get_worker_cache",
+    "reset_worker_cache",
+]
 
 #: float32 GEMM is exact while every partial sum stays below 2**24.
 _F32_EXACT_BOUND = 1 << 24
@@ -55,42 +73,117 @@ class CachePoisonedError(RuntimeError):
 
 
 class ScheduleCache:
-    """Process-local memo of schedules and per-layer coefficient loads."""
+    """Process-local memo of schedules and per-layer coefficient loads.
 
-    def __init__(self, max_layers: int = 32, hook=None) -> None:
+    ``compiled`` (a :class:`repro.parallel.compiled.CompiledSchedules`,
+    duck-typed) turns the cache into a thin view: lookups consult the
+    precompiled read-only artifact before building anything.  Entries
+    served from the artifact count as hits (plus ``compiled_hits``);
+    every on-demand build increments ``rebuilds`` — the counter the
+    respawn-warm tests and the cold-start benchmark watch.
+    """
+
+    def __init__(self, max_layers: int = 32, hook=None, compiled=None) -> None:
         self.max_layers = max_layers
+        self.compiled = compiled
         self._bit_tables: dict[int, np.ndarray] = {}
         self._selects: dict[tuple[int, int], np.ndarray] = {}
         self._layers: OrderedDict[tuple, tuple] = OrderedDict()
+        self._ud_tables: dict[str, np.ndarray] = {}
         self._poisoned = False
         self.hits = 0
         self.misses = 0
+        self.rebuilds = 0
+        self.compiled_hits = 0
         #: optional observer ``hook("hit" | "miss")`` fired on every
         #: layer-coefficient lookup.  The serving layer points this at
         #: its metrics counters; it must be cheap and must not raise.
         self.hook = hook
 
+    def _compiled_get(self, key: str, shape: tuple, dtype) -> np.ndarray | None:
+        """One validated artifact lookup (``None`` = miss, build locally).
+
+        Shape/dtype mismatch is treated as a miss rather than an error:
+        a foreign or stale entry must degrade to an on-demand build, not
+        poison-loop the worker.
+        """
+        if self.compiled is None:
+            return None
+        entry = self.compiled.get(key)
+        if entry is None or entry.shape != shape or entry.dtype != np.dtype(dtype):
+            return None
+        return entry
+
     # -- small schedule memos ---------------------------------------------
     def bit_table(self, n_bits: int) -> np.ndarray:
         """``(N, 2**N)`` float32 matrix: row ``n`` = MSB-first bit ``n``."""
         table = self._bit_tables.get(n_bits)
-        if table is None:
-            words = np.arange(1 << n_bits, dtype=np.int64)
-            table = np.ascontiguousarray(
-                bits_msb_first(words, n_bits).T.astype(np.float32)
-            )
-            self._bit_tables[n_bits] = table
+        if table is not None:
+            return table
+        table = self._compiled_get(
+            bit_table_key(n_bits), (n_bits, 1 << n_bits), np.float32
+        )
+        if table is not None:
+            self.compiled_hits += 1
+            return table
+        self.rebuilds += 1
+        words = np.arange(1 << n_bits, dtype=np.int64)
+        table = np.ascontiguousarray(bits_msb_first(words, n_bits).T.astype(np.float32))
+        self._bit_tables[n_bits] = table
         return table
 
     def select(self, k: int, n_bits: int) -> np.ndarray:
         """MUX select schedule for a ``(k, N)`` down-counter load."""
         key = (int(k), int(n_bits))
         sched = self._selects.get(key)
-        if sched is None:
-            sched = select_schedule(key[0], key[1])
-            sched.setflags(write=False)
-            self._selects[key] = sched
+        if sched is not None:
+            return sched
+        sched = self._compiled_get(select_key(key[0], key[1]), (key[0],), np.int64)
+        if sched is not None:
+            self.compiled_hits += 1
+            return sched
+        self.rebuilds += 1
+        sched = select_schedule(key[0], key[1])
+        sched.setflags(write=False)
+        self._selects[key] = sched
         return sched
+
+    def ud_table(self, n_bits: int, seed_w: int, seed_x: int) -> np.ndarray:
+        """Shared-LFSR XNOR up/down table for a conventional SC multiply.
+
+        Keyed with the full orbit fingerprint (seeds *and* tap
+        polynomials) via :func:`repro.keys.ud_table_key`, so the
+        compiled artifact and the in-process ``lfsr_ud_table`` LRU
+        describe the same content with one hash.
+        """
+        if self._poisoned:
+            raise CachePoisonedError("schedule cache was poisoned; drop and rebuild")
+        key = ud_table_key(
+            n_bits, seed_w, seed_x, MAXIMAL_TAPS[n_bits], _ALT_TAPS[n_bits]
+        )
+        table = self._ud_tables.get(key)
+        if table is not None:
+            self.hits += 1
+            if self.hook is not None:
+                self.hook("hit")
+            return table
+        side = (1 << n_bits) + 1
+        table = self._compiled_get(key, (side, side), np.int64)
+        if table is not None:
+            self.hits += 1
+            self.compiled_hits += 1
+            if self.hook is not None:
+                self.hook("hit")
+            return table
+        self.misses += 1
+        self.rebuilds += 1
+        if self.hook is not None:
+            self.hook("miss")
+        from repro.sc.multipliers import lfsr_ud_table
+
+        table = lfsr_ud_table(n_bits, seed_w, seed_x)
+        self._ud_tables[key] = table
+        return table
 
     # -- per-layer coefficient loads --------------------------------------
     def layer_coeff(self, w_int: np.ndarray, n_bits: int) -> tuple[np.ndarray, np.ndarray]:
@@ -105,7 +198,8 @@ class ScheduleCache:
         if self._poisoned:
             raise CachePoisonedError("schedule cache was poisoned; drop and rebuild")
         w = np.ascontiguousarray(np.asarray(w_int, dtype=np.int64))
-        key = (hashlib.sha1(w.tobytes()).hexdigest(), w.shape, int(n_bits))
+        digest = layer_digest(w, n_bits)
+        key = (digest, w.shape, int(n_bits))
         cached = self._layers.get(key)
         if cached is not None:
             self._validate_entry(key, cached)
@@ -114,10 +208,21 @@ class ScheduleCache:
             if self.hook is not None:
                 self.hook("hit")
             return cached
+        m, d = w.shape
+        if self.compiled is not None:
+            coeff_t = self.compiled.get(f"{digest}/coeff")
+            const = self.compiled.get(f"{digest}/const")
+            entry = (coeff_t, const) if coeff_t is not None and const is not None else None
+            if entry is not None and self._entry_ok(key, entry):
+                self.hits += 1
+                self.compiled_hits += 1
+                if self.hook is not None:
+                    self.hook("hit")
+                return entry
         self.misses += 1
+        self.rebuilds += 1
         if self.hook is not None:
             self.hook("miss")
-        m, d = w.shape
         k = np.abs(w)
         sign = np.where(w < 0, -1, 1).astype(np.int64)
         coeff = coefficient_vector(k, n_bits) * sign[:, :, None]  # (M, D, N)
@@ -137,15 +242,10 @@ class ScheduleCache:
         return entry
 
     @staticmethod
-    def _validate_entry(key, entry) -> None:
-        """Check a cached entry still has the shape its key promises.
-
-        Every lookup re-validates, so a poisoned or torn entry is
-        detected the moment it would be served — never silently folded
-        into a result.
-        """
+    def _entry_ok(key, entry) -> bool:
+        """Does ``entry`` have the shape its key promises?"""
         _, (m, d), n_bits = key
-        ok = (
+        return (
             isinstance(entry, tuple)
             and len(entry) == 2
             and isinstance(entry[0], np.ndarray)
@@ -153,7 +253,18 @@ class ScheduleCache:
             and entry[0].shape == (m, d * n_bits)
             and entry[1].shape == (m,)
         )
-        if not ok:
+
+    @classmethod
+    def _validate_entry(cls, key, entry) -> None:
+        """Check a cached entry still has the shape its key promises.
+
+        Every lookup re-validates, so a poisoned or torn entry is
+        detected the moment it would be served — never silently folded
+        into a result.  (Compiled-artifact entries are instead checked
+        with :meth:`_entry_ok` and treated as a *miss* on mismatch — a
+        foreign artifact must degrade, not poison-loop.)
+        """
+        if not cls._entry_ok(key, entry):
             raise CachePoisonedError(
                 f"cached schedule for layer {key[0][:12]} failed shape validation"
             )
@@ -222,21 +333,65 @@ class ScheduleCache:
             "layers": len(self._layers),
             "bit_tables": len(self._bit_tables),
             "selects": len(self._selects),
+            "rebuilds": self.rebuilds,
+            "compiled_hits": self.compiled_hits,
         }
 
 
 _WORKER_CACHE: ScheduleCache | None = None
 
+#: Process-global compiled artifact.  Survives worker cache drops (the
+#: poison-recovery path resets only ``_WORKER_CACHE``), so a recovered
+#: worker re-attaches warm instead of rebuilding schedules.
+_PROCESS_COMPILED = None
+
+
+def attach_compiled(compiled) -> None:
+    """Install a compiled schedule artifact for this process.
+
+    The live worker cache (if any) starts viewing it immediately, and
+    any precompiled LFSR orbits are adopted into the
+    :mod:`repro.sc.lfsr` orbit cache so sequence generation gathers
+    instead of stepping.
+    """
+    global _PROCESS_COMPILED
+    _PROCESS_COMPILED = compiled
+    if _WORKER_CACHE is not None:
+        _WORKER_CACHE.compiled = compiled
+    if compiled is not None:
+        from repro.sc.lfsr import adopt_orbit
+
+        for n_bits, taps, orbit in compiled.orbit_entries():
+            adopt_orbit(n_bits, taps, orbit)
+
+
+def detach_compiled() -> None:
+    """Drop the process-global compiled artifact (fallback/tests)."""
+    global _PROCESS_COMPILED
+    _PROCESS_COMPILED = None
+    if _WORKER_CACHE is not None:
+        _WORKER_CACHE.compiled = None
+
+
+def active_compiled():
+    """The process-global compiled artifact, or ``None``."""
+    return _PROCESS_COMPILED
+
 
 def get_worker_cache() -> ScheduleCache:
-    """The process-global cache (one per pool worker)."""
+    """The process-global cache (one per pool worker).
+
+    Created lazily with whatever compiled artifact is attached, so the
+    drop-and-rebuild fault recovery path comes back *warm*: the cache is
+    disposable, the artifact is not.
+    """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
-        _WORKER_CACHE = ScheduleCache()
+        _WORKER_CACHE = ScheduleCache(compiled=_PROCESS_COMPILED)
     return _WORKER_CACHE
 
 
 def reset_worker_cache() -> None:
-    """Drop the process-global cache (tests)."""
+    """Drop the process-global cache (tests, fault recovery)."""
     global _WORKER_CACHE
     _WORKER_CACHE = None

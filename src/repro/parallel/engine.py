@@ -59,7 +59,7 @@ import numpy as np
 
 from repro.faults import hooks as _faults
 from repro.parallel import worker as _worker
-from repro.parallel.cache import get_worker_cache
+from repro.parallel.cache import active_compiled, get_worker_cache
 from repro.parallel.scheduler import BatchScheduler, RetryPolicy, Shard
 from repro.parallel.shm import SharedArrayPool
 
@@ -327,6 +327,7 @@ def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
             x_spec,
             out_spec,
             config.use_cache,
+            _share_compiled(pool, config),
         )
 
     return _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -417,6 +418,7 @@ def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
             x_spec,
             out_spec,
             config.use_cache,
+            _share_compiled(pool, config),
         )
 
     result = _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -461,9 +463,25 @@ def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> n
             x_spec,
             out_spec,
             config.use_cache,
+            _share_compiled(pool, config),
         )
 
     return _run_sharded_pool(config, shards, _worker.run_matmul_shard, populate)
+
+
+def _share_compiled(pool: SharedArrayPool, config: ParallelConfig):
+    """Share the active compiled-schedule artifact into ``pool``.
+
+    Returns the read-only segment spec for the worker initializers, or
+    ``None`` when no artifact is attached (or caching is off) — workers
+    then build schedules on demand, exactly the pre-artifact behaviour.
+    Re-invoked on every respawn wave via ``populate``, so post-fault
+    waves attach to a fresh, pristine copy of the same bytes.
+    """
+    compiled = active_compiled() if config.use_cache else None
+    if compiled is None:
+        return None
+    return pool.share("sched", compiled.blob)
 
 
 def _attach_caches_inproc(net, config: ParallelConfig):

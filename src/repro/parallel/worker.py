@@ -12,6 +12,15 @@ The same module also hosts the matmul-level workers used by
 :func:`repro.parallel.engine.parallel_matmul`, which shard a single
 ``W @ X`` over the (output-tiles x columns) grid.
 
+When the parent precompiled a schedule artifact
+(:mod:`repro.parallel.compiled`), the initializer also receives its
+read-only shared-memory spec: the worker attaches, CRC-verifies and
+parses it once, then every :class:`ScheduleCache` lookup is served out
+of the shared segment — cold start does zero schedule builds.  Any
+attach/parse/validate failure (chaos truncation, bit flips, a
+future-versioned artifact) degrades to the on-demand build path; it
+never fails the worker.
+
 Fault-tolerance contract (see ``docs/testing.md``):
 
 * the initializer verifies the checksummed read-only segments, so a
@@ -19,22 +28,39 @@ Fault-tolerance contract (see ``docs/testing.md``):
   computing on garbage;
 * a failing shard attempt resets the worker's schedule caches before
   the error propagates — whatever state the failure may have poisoned
-  is dropped, and the retry recomputes from the shared weights;
-* the fault hooks (``worker.init``, ``worker.shard``) are single
-  ``is not None`` checks when no plan is installed.
+  is dropped, and the retry recomputes from the shared weights (the
+  compiled artifact survives the drop, so the retry re-attaches warm);
+* the fault hooks (``worker.init``, ``worker.shard``,
+  ``cache.attach``) are single ``is not None`` checks when no plan is
+  installed.
+
+Setting ``REPRO_SCHED_STATS_DIR`` makes every successful shard append
+one JSON line of its cache counters to ``<dir>/<pid>.jsonl`` — the
+observability hook the respawn-warm tests use to prove post-fault
+waves did not rebuild schedules.
 """
 
 from __future__ import annotations
 
 import copy
+import json
+import logging
+import os
 
 import numpy as np
 
+from repro.errors import ArtifactVersionError
 from repro.faults import hooks as _faults
 from repro.faults.plan import FaultInjected, FaultPlan
-from repro.parallel.cache import get_worker_cache, reset_worker_cache
+from repro.parallel.cache import (
+    attach_compiled,
+    detach_compiled,
+    get_worker_cache,
+    reset_worker_cache,
+)
+from repro.parallel.compiled import CompiledSchedules, ScheduleArtifactError
 from repro.parallel.scheduler import Shard
-from repro.parallel.shm import SharedArraySpec, SharedArrayView
+from repro.parallel.shm import SegmentError, SharedArraySpec, SharedArrayView
 
 __all__ = [
     "net_skeleton",
@@ -45,6 +71,8 @@ __all__ = [
     "init_matmul_worker",
     "run_matmul_shard",
 ]
+
+logger = logging.getLogger("repro.artifacts")
 
 #: Process-local state installed by the pool initializers.
 _STATE: dict = {}
@@ -104,6 +132,74 @@ def _install_faults(plan: FaultPlan | None, wave: int) -> None:
     _faults.set_epoch(wave)
 
 
+def _corrupt_blob(buf: np.ndarray, spec) -> np.ndarray:
+    """Site-specific ``cache.attach`` fault actions, on a *local* copy.
+
+    Unlike the ``shm.attach`` bitflip (which scribbles on the real
+    segment), artifact corruption is applied to a private copy of the
+    blob: the chaos scenario under test is "this worker read garbage",
+    and healing means this worker alone falls back to on-demand builds
+    while its siblings keep serving from the pristine segment.
+    """
+    local = np.array(buf, dtype=np.uint8)
+    if spec.action == "truncate":
+        return local[: max(1, local.size // 2)]
+    if spec.action == "bitflip":
+        if local.size:
+            local[-1] ^= 0xFF  # payload byte: caught by the CRC check
+    return local
+
+
+def _adopt_compiled(sched_spec: SharedArraySpec | None, use_cache: bool) -> None:
+    """Attach the shared compiled-schedule artifact, or degrade quietly.
+
+    On success the parsed artifact becomes this process's
+    ``active_compiled()`` and the segment view is pinned in ``_STATE``
+    for the worker's lifetime.  On any failure — injected corruption,
+    truncation, version skew, CRC mismatch — the worker logs the event
+    and continues with on-demand schedule builds; parity is preserved
+    either way, only ``stats()["rebuilds"]`` differs.
+    """
+    if sched_spec is None or not use_cache:
+        detach_compiled()
+        return
+    label = sched_spec.label or sched_spec.name
+    view = None
+    try:
+        fired = _faults.fire("cache.attach", key=label) if _faults.enabled() else ()
+        view = SharedArrayView(sched_spec)
+        view.verify()
+        buf = view.array
+        for f in fired:
+            buf = _corrupt_blob(buf, f)
+        compiled = CompiledSchedules(buf)
+        compiled.validate()
+    except (SegmentError, ScheduleArtifactError, ArtifactVersionError) as exc:
+        if view is not None:
+            view.close()
+        detach_compiled()
+        logger.warning(
+            "event=fallback key=%s reason=%r", label, f"{type(exc).__name__}: {exc}"
+        )
+        return
+    except BaseException:
+        if view is not None:
+            view.close()
+        raise
+    attach_compiled(compiled)
+    _STATE["sched"] = view
+
+
+def _dump_shard_stats(shard: Shard) -> None:
+    """Debug observability: append this worker's cache counters."""
+    stats_dir = os.environ.get("REPRO_SCHED_STATS_DIR")
+    if not stats_dir:
+        return
+    record = {"pid": os.getpid(), "shard": shard.index, **get_worker_cache().stats()}
+    with open(os.path.join(stats_dir, f"{os.getpid()}.jsonl"), "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
 def _drop_poisonable_state() -> None:
     """Reset this worker's caches after a failed shard attempt.
 
@@ -127,6 +223,7 @@ def init_network_worker(
     x_spec: SharedArraySpec,
     out_spec: SharedArraySpec,
     use_cache: bool,
+    sched_spec: SharedArraySpec | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -134,6 +231,11 @@ def init_network_worker(
     _install_faults(fault_plan, wave)
     if _faults.enabled():
         _faults.fire("worker.init")
+    # Start from a clean slate regardless of start method: a forked
+    # worker inherits the parent's cache object, and "warm" must mean
+    # "served by the artifact", not "leaked from the parent's memory".
+    reset_worker_cache()
+    _adopt_compiled(sched_spec, use_cache)
     _load_weights(skel, weight_specs)
     if use_cache:
         attach_engine_caches(skel)
@@ -156,6 +258,7 @@ def run_network_shard(shard: Shard, attempt: int = 0) -> int:
     except BaseException:
         _drop_poisonable_state()
         raise
+    _dump_shard_stats(shard)
     return shard.index
 
 
@@ -176,6 +279,7 @@ def init_matmul_worker(
     x_spec: SharedArraySpec,
     out_spec: SharedArraySpec,
     use_cache: bool,
+    sched_spec: SharedArraySpec | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -183,6 +287,8 @@ def init_matmul_worker(
     _install_faults(fault_plan, wave)
     if _faults.enabled():
         _faults.fire("worker.init")
+    reset_worker_cache()
+    _adopt_compiled(sched_spec, use_cache)
     if use_cache and hasattr(engine, "cache"):
         engine.cache = get_worker_cache()
     _STATE["engine"] = engine

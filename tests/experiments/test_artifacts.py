@@ -203,6 +203,69 @@ class TestCorruptionMatrix:
         self._assert_quarantined(store, "k")
 
 
+class TestScheduleBlobs:
+    """Raw blob plumbing of the compiled schedule artifacts."""
+
+    def test_roundtrip_memmaps_readonly(self, store):
+        payload = bytes(range(256)) * 10
+        store.save_blob("sched", payload)
+        out = store.load_blob("sched")
+        assert out is not None and bytes(out) == payload
+        assert not out.flags.writeable
+
+    def test_missing_blob_is_a_miss(self, store):
+        assert store.load_blob("nope") is None
+        assert not list(store.root.glob("*.corrupt"))
+
+    def test_missing_sidecar_tolerated(self, store):
+        """A hand-placed blob without a sidecar still loads."""
+        store.blob_path("sched").write_bytes(b"payload")
+        assert store.load_blob("sched") is not None
+
+    def test_sidecar_mismatch_quarantines(self, store, caplog):
+        store.save_blob("sched", b"original payload")
+        store.blob_path("sched").write_bytes(b"tampered payload")
+        with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
+            assert store.load_blob("sched") is None
+        assert "event=quarantine" in caplog.text
+        assert store.blob_path("sched").with_suffix(".sched.corrupt").exists()
+
+    def test_ls_and_verify_cover_schedules(self, store):
+        store.save_blob("sched", b"some schedule bytes")
+        kinds = {i.name: i.kind for i in store.ls()}
+        assert kinds["sched.sched"] == "schedule"
+        statuses = {i.name: i.status for i in store.verify()}
+        assert statuses["sched.sched"] == "ok"
+
+    def test_verify_flags_tampered_schedule(self, store):
+        store.save_blob("sched", b"some schedule bytes")
+        store.blob_path("sched").write_bytes(b"tampered")
+        statuses = {i.name: i.status for i in store.verify()}
+        assert statuses["sched.sched"] == "corrupt"
+
+    def test_future_version_artifact_rejected_typed_then_recompiled(self, store):
+        """Forward-compat: a bumped format version raises the typed
+        ArtifactVersionError on parse, and ensure_compiled answers it
+        with a recompile instead of a crash."""
+        from repro.errors import ArtifactVersionError
+        from repro.nn import attach_engines, build_mnist_net
+        from repro.nn.calibration import LayerRanges
+        from repro.parallel import CompiledSchedules, ensure_compiled
+
+        net = build_mnist_net(seed=3, c1=2, c2=2, fc=8)
+        attach_engines(
+            net, "proposed-sc", [LayerRanges(1.0, 1.0) for _ in net.conv_layers], n_bits=6
+        )
+        data = ensure_compiled(net, store, "sched").blob.tobytes()
+        bumped = data.replace(b'"version":1', b'"version":2', 1)
+        with pytest.raises(ArtifactVersionError):
+            CompiledSchedules(bumped)
+        store.save_blob("sched", bumped)
+        compiled = ensure_compiled(net, store, "sched")  # must not raise
+        assert compiled.version == 1
+        compiled.validate()
+
+
 class TestLocking:
     def test_lock_reentrant_across_keys(self, store):
         with store.lock("a"), store.lock("b"):

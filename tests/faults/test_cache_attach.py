@@ -1,0 +1,99 @@
+"""Chaos at the compiled-artifact attach site: heal by falling back.
+
+The ``cache.attach`` site fires inside a pool worker's initializer,
+right before it parses the shared schedule artifact.  The contract: a
+worker that reads a corrupt artifact (truncated, bit-flipped, or
+future-versioned) must degrade to on-demand schedule builds — logits
+stay bit-exact, only ``stats()["rebuilds"]`` tells the stories apart.
+The shared segment itself stays pristine, so unaffected siblings keep
+serving from the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, hooks
+from repro.parallel import (
+    CompiledSchedules,
+    ParallelConfig,
+    compile_network_schedules,
+    predict_logits,
+    serialize_schedules,
+)
+from repro.parallel.cache import attach_compiled, detach_compiled, reset_worker_cache
+
+pytestmark = pytest.mark.chaos
+
+CFG = ParallelConfig(workers=2, batch_size=2)
+
+
+@pytest.fixture(autouse=True)
+def _clean_compiled():
+    detach_compiled()
+    reset_worker_cache()
+    yield
+    detach_compiled()
+    reset_worker_cache()
+
+
+@pytest.fixture
+def compiled(net):
+    entries, meta = compile_network_schedules(net)
+    return CompiledSchedules(serialize_schedules(entries, meta))
+
+
+def plan_of(*specs: FaultSpec) -> FaultPlan:
+    return FaultPlan(specs=tuple(specs))
+
+
+@pytest.mark.parametrize("action", ["bitflip", "truncate"])
+def test_corrupt_artifact_attach_heals_bit_exact(
+    net, images, serial_logits, compiled, action
+):
+    """One worker reads a corrupt artifact; the run stays bit-exact."""
+    attach_compiled(compiled)
+    with hooks.injected(plan_of(FaultSpec("cache.attach", action, attempt=0))):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits)
+
+
+def test_all_workers_corrupt_fall_back_to_rebuilds(
+    net, images, serial_logits, compiled, tmp_path, monkeypatch
+):
+    """Every attach corrupted: the whole pool heals via on-demand
+    builds, observable as nonzero rebuild counters in the shard stats."""
+    monkeypatch.setenv("REPRO_SCHED_STATS_DIR", str(tmp_path))
+    attach_compiled(compiled)
+    persistent = FaultSpec("cache.attach", "bitflip", attempt=None, times=None)
+    with hooks.injected(plan_of(persistent)):
+        out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits)
+    records = [
+        json.loads(line)
+        for path in tmp_path.glob("*.jsonl")
+        for line in path.read_text().splitlines()
+    ]
+    assert records, "expected shard stats from the pool workers"
+    assert all(r["compiled_hits"] == 0 for r in records), records
+    assert sum(r["rebuilds"] for r in records) > 0
+
+
+def test_pristine_attach_does_zero_rebuilds(
+    net, images, serial_logits, compiled, tmp_path, monkeypatch
+):
+    """Control leg for the fleet: no fault, artifact serves everything."""
+    monkeypatch.setenv("REPRO_SCHED_STATS_DIR", str(tmp_path))
+    attach_compiled(compiled)
+    out = predict_logits(net, images, CFG)
+    assert np.array_equal(out, serial_logits)
+    records = [
+        json.loads(line)
+        for path in tmp_path.glob("*.jsonl")
+        for line in path.read_text().splitlines()
+    ]
+    assert records
+    assert all(r["rebuilds"] == 0 for r in records), records

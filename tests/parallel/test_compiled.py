@@ -1,0 +1,349 @@
+"""Compiled schedule artifacts: format, thin-view cache, pool parity.
+
+The contract under test: the precompiled-artifact path must be
+*bit-exact* against the on-demand ScheduleCache path across worker
+counts, the artifact format must reject what it cannot read with typed
+errors (never crash, never compute on garbage), and a pool that
+attaches a warm artifact must do zero schedule builds — including the
+respawned waves after a worker death.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactVersionError
+from repro.faults import FaultPlan, FaultSpec, hooks
+from repro.nn import attach_engines, build_mnist_net
+from repro.nn.calibration import LayerRanges
+from repro.parallel import (
+    CompiledSchedules,
+    ParallelConfig,
+    RetryPolicy,
+    ScheduleArtifactError,
+    ScheduleCache,
+    ScheduleEntry,
+    compile_network_schedules,
+    ensure_compiled,
+    predict_logits,
+    predict_logits_grouped,
+    serialize_schedules,
+)
+from repro.parallel.cache import (
+    attach_compiled,
+    detach_compiled,
+    get_worker_cache,
+    reset_worker_cache,
+)
+
+POOL_WORKERS = (1, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def _clean_compiled():
+    """No artifact (or cache warmth) leaks into or out of any test."""
+    detach_compiled()
+    reset_worker_cache()
+    yield
+    detach_compiled()
+    reset_worker_cache()
+
+
+def small_net(seed: int = 3, engine: str = "proposed-sc", n_bits: int = 8, **kwargs):
+    net = build_mnist_net(seed=seed, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, engine, ranges, n_bits=n_bits, **kwargs)
+    return net
+
+
+def compiled_for(net) -> CompiledSchedules:
+    entries, meta = compile_network_schedules(net)
+    return CompiledSchedules(serialize_schedules(entries, meta))
+
+
+@pytest.fixture
+def images():
+    rng = np.random.default_rng(7)
+    return rng.normal(0.0, 0.5, size=(6, 1, 28, 28))
+
+
+# -- artifact format ------------------------------------------------------
+
+
+class TestFormat:
+    def test_roundtrip_preserves_arrays_and_meta(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-100, 100, size=(3, 5)).astype(np.int64)
+        b = rng.random((4,)).astype(np.float32)
+        data = serialize_schedules(
+            [
+                ScheduleEntry("k/a", "ud-table", {"n_bits": 3}, a),
+                ScheduleEntry("k/b", "bit-table", {}, b),
+            ],
+            meta={"engines": ["x"]},
+        )
+        compiled = CompiledSchedules(data)
+        compiled.validate()
+        assert np.array_equal(compiled.get("k/a"), a)
+        assert np.array_equal(compiled.get("k/b"), b)
+        assert compiled.meta == {"engines": ["x"]}
+        assert set(compiled.keys()) == {"k/a", "k/b"}
+        assert "k/a" in compiled and "missing" not in compiled
+        assert compiled.get("missing") is None
+
+    def test_entries_are_read_only_views(self):
+        data = serialize_schedules(
+            [ScheduleEntry("k", "select", {}, np.arange(6, dtype=np.int64))]
+        )
+        arr = CompiledSchedules(data).get("k")
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0] = 99
+
+    def test_duplicate_keys_deduplicated(self):
+        arr = np.arange(4, dtype=np.int64)
+        data = serialize_schedules(
+            [ScheduleEntry("k", "select", {}, arr), ScheduleEntry("k", "select", {}, arr)]
+        )
+        assert len(CompiledSchedules(data)) == 1
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ScheduleArtifactError, match="magic"):
+            CompiledSchedules(b"NOTSCHED" + b"\x00" * 64)
+
+    def test_truncation_rejected(self):
+        data = serialize_schedules(
+            [ScheduleEntry("k", "select", {}, np.arange(100, dtype=np.int64))]
+        )
+        with pytest.raises(ScheduleArtifactError):
+            CompiledSchedules(data[: len(data) // 2])
+
+    def test_future_version_raises_typed_error(self):
+        """A bumped format version must be the *typed* rejection."""
+        data = serialize_schedules(
+            [ScheduleEntry("k", "select", {}, np.arange(4, dtype=np.int64))]
+        )
+        assert data.count(b'"version":1') == 1
+        bumped = data.replace(b'"version":1', b'"version":2', 1)
+        with pytest.raises(ArtifactVersionError, match="version"):
+            CompiledSchedules(bumped)
+        # and it is NOT the generic corruption error: callers distinguish
+        assert not issubclass(ArtifactVersionError, ScheduleArtifactError)
+
+    def test_payload_bitflip_caught_by_crc(self):
+        data = bytearray(
+            serialize_schedules(
+                [ScheduleEntry("k", "select", {}, np.arange(4, dtype=np.int64))]
+            )
+        )
+        data[-1] ^= 0xFF
+        compiled = CompiledSchedules(bytes(data))  # header parses fine
+        with pytest.raises(ScheduleArtifactError, match="CRC"):
+            compiled.validate()
+
+    def test_describe_summarizes(self):
+        net = small_net()
+        compiled = compiled_for(net)
+        d = compiled.describe()
+        assert d["version"] == 1
+        assert d["entries"] == len(compiled)
+        assert d["kinds"]["layer-coeff"] == 2
+        assert d["nbytes"] == compiled.nbytes
+
+
+# -- compiling a network --------------------------------------------------
+
+
+class TestCompileNetwork:
+    def test_manifest_is_covered_by_compiled_artifact(self):
+        from repro.parallel import schedule_manifest
+
+        net = small_net()
+        needed, meta = schedule_manifest(net)
+        compiled = compiled_for(net)
+        assert needed, "manifest of an engine-backed net must not be empty"
+        assert all(k in compiled for k in needed)
+        assert len(meta["layers"]) == 2
+
+    def test_lfsr_network_compiles_table_and_orbits(self):
+        net = small_net(engine="lfsr-sc", n_bits=5, seed_w=1, seed_x=1)
+        compiled = compiled_for(net)
+        kinds = compiled.describe()["kinds"]
+        assert kinds == {"orbit": 2, "ud-table": 1}
+        assert len(compiled.orbit_entries()) == 2
+
+    def test_compiled_ud_table_matches_on_demand_build(self):
+        from repro.sc.multipliers import lfsr_ud_table
+
+        net = small_net(engine="lfsr-sc", n_bits=5, seed_w=1, seed_x=1)
+        cache = ScheduleCache(compiled=compiled_for(net))
+        table = cache.ud_table(5, 1, 1)
+        assert np.array_equal(table, lfsr_ud_table(5, 1, 1))
+        stats = cache.stats()
+        assert stats["rebuilds"] == 0
+        assert stats["compiled_hits"] == 1
+
+
+# -- thin-view ScheduleCache ----------------------------------------------
+
+
+class TestThinView:
+    def test_compiled_path_serves_with_zero_rebuilds(self, images):
+        net = small_net()
+        compiled = compiled_for(net)
+        cfg = ParallelConfig(workers=0, batch_size=3)
+
+        reset_worker_cache()
+        on_demand = predict_logits(net, images, cfg)
+        assert get_worker_cache().stats()["rebuilds"] > 0
+
+        attach_compiled(compiled)
+        reset_worker_cache()
+        from_artifact = predict_logits(net, images, cfg)
+        stats = get_worker_cache().stats()
+        assert stats["rebuilds"] == 0
+        assert stats["compiled_hits"] > 0
+        assert np.array_equal(from_artifact, on_demand)
+
+    def test_artifact_miss_degrades_to_build(self, images):
+        """An artifact compiled for a *different* net is a miss, not a
+        wrong answer: lookups fall through to the on-demand build."""
+        net = small_net(seed=3)
+        other = small_net(seed=11)
+        reset_worker_cache()
+        expected = predict_logits(net, images, ParallelConfig(workers=0, batch_size=3))
+
+        attach_compiled(compiled_for(other))
+        reset_worker_cache()
+        got = predict_logits(net, images, ParallelConfig(workers=0, batch_size=3))
+        assert get_worker_cache().stats()["rebuilds"] > 0
+        assert np.array_equal(got, expected)
+
+
+# -- pool parity ----------------------------------------------------------
+
+
+class TestPoolParity:
+    @pytest.mark.parametrize("workers", POOL_WORKERS)
+    def test_artifact_path_bit_exact_across_worker_counts(self, workers, images):
+        net = small_net()
+        reset_worker_cache()
+        serial = predict_logits(net, images, ParallelConfig(workers=0, batch_size=2))
+
+        attach_compiled(compiled_for(net))
+        out = predict_logits(net, images, ParallelConfig(workers=workers, batch_size=2))
+        assert np.array_equal(out, serial)
+
+    def test_grouped_dispatch_bit_exact_with_artifact(self, images):
+        net = small_net()
+        reset_worker_cache()
+        cfg0 = ParallelConfig(workers=0, batch_size=2)
+        expected = [predict_logits(net, images[:2], cfg0), predict_logits(net, images[2:], cfg0)]
+
+        attach_compiled(compiled_for(net))
+        got = predict_logits_grouped(
+            net, [images[:2], images[2:]], ParallelConfig(workers=2, batch_size=2)
+        )
+        for g, e in zip(got, expected):
+            assert np.array_equal(g, e)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="stats via inherited env require fork",
+    )
+    def test_respawned_waves_attach_warm(self, images, tmp_path, monkeypatch):
+        """Post-crash waves re-attach the artifact: zero rebuilds, ever."""
+        monkeypatch.setenv("REPRO_SCHED_STATS_DIR", str(tmp_path))
+        net = small_net()
+        reset_worker_cache()
+        serial = predict_logits(net, images, ParallelConfig(workers=0, batch_size=2))
+
+        attach_compiled(compiled_for(net))
+        cfg = ParallelConfig(
+            workers=2,
+            batch_size=2,
+            retry=RetryPolicy(max_attempts=3, max_pool_respawns=2, backoff_base_s=0.01),
+        )
+        plan = FaultPlan(specs=(FaultSpec("worker.shard", "crash", index=0, attempt=0),))
+        with hooks.injected(plan):
+            out = predict_logits(net, images, cfg)
+        assert np.array_equal(out, serial)
+
+        records = [
+            json.loads(line)
+            for path in tmp_path.glob("*.jsonl")
+            for line in path.read_text().splitlines()
+        ]
+        assert len(records) >= 3  # shards 0..2, shard 0 via the respawned wave
+        assert {r["shard"] for r in records} == {0, 1, 2}
+        assert all(r["rebuilds"] == 0 for r in records), records
+        assert any(r["compiled_hits"] > 0 for r in records)
+
+
+# -- ensure_compiled (store flow) -----------------------------------------
+
+
+class TestEnsureCompiled:
+    @pytest.fixture
+    def store(self, tmp_path, monkeypatch):
+        from repro.experiments.artifacts import ArtifactStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        return ArtifactStore(tmp_path)
+
+    def test_compiles_once_then_hits(self, store, caplog):
+        net = small_net()
+        with caplog.at_level(logging.INFO, logger="repro.artifacts"):
+            first = ensure_compiled(net, store, "sched-test")
+            second = ensure_compiled(net, store, "sched-test")
+        assert store.blob_path("sched-test").exists()
+        assert caplog.text.count("event=compile") == 1
+        assert "event=hit" in caplog.text
+        assert set(first.keys()) == set(second.keys())
+
+    def test_garbage_blob_recompiles_not_crashes(self, store, caplog):
+        net = small_net()
+        store.save_blob("sched-test", b"RPSCHED\x00 but then garbage")
+        with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
+            compiled = ensure_compiled(net, store, "sched-test")
+        assert "event=corrupt" in caplog.text
+        assert len(compiled) > 0
+        compiled.validate()
+
+    def test_future_version_blob_recompiles_not_crashes(self, store, caplog):
+        net = small_net()
+        data = ensure_compiled(net, store, "sched-test").blob.tobytes()
+        store.save_blob("sched-test", data.replace(b'"version":1', b'"version":2', 1))
+        with caplog.at_level(logging.WARNING, logger="repro.artifacts"):
+            compiled = ensure_compiled(net, store, "sched-test")
+        assert "event=stale" in caplog.text
+        assert compiled.version == 1  # rewritten at the supported version
+        compiled.validate()
+
+    def test_sidecar_mismatch_quarantines_then_recompiles(self, store):
+        net = small_net()
+        ensure_compiled(net, store, "sched-test")
+        path = store.blob_path("sched-test")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip under the sidecar's nose
+        path.write_bytes(bytes(data))
+        compiled = ensure_compiled(net, store, "sched-test")
+        compiled.validate()
+        assert list(store.root.glob("*.corrupt"))
+
+    def test_stale_manifest_triggers_recompile(self, store, caplog):
+        """An artifact for yesterday's weights is stale, not 'good enough'."""
+        from repro.parallel import schedule_manifest
+
+        old = small_net(seed=3)
+        ensure_compiled(old, store, "sched-test")
+        new = small_net(seed=11)
+        with caplog.at_level(logging.INFO, logger="repro.artifacts"):
+            compiled = ensure_compiled(new, store, "sched-test")
+        assert "event=stale" in caplog.text
+        needed, _ = schedule_manifest(new)
+        assert all(k in compiled for k in needed)

@@ -213,3 +213,23 @@ class TestCacheCommand:
         assert main(["cache", "clear"]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert not (self.root / "digits-quick.npz").exists()
+
+    def test_inspect_empty(self, capsys):
+        assert main(["cache", "inspect"]) == 0
+        assert "(no schedule artifacts)" in capsys.readouterr().out
+
+    def test_compile_then_inspect(self, capsys):
+        assert main(
+            ["cache", "compile", "--benchmark", "digits", "--n-bits", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compiled sched-digits-quick-proposed-sc-n6" in out
+        assert (self.root / "sched-digits-quick-proposed-sc-n6.sched").exists()
+        assert main(["cache", "inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out and "layer-coeff=2" in out
+
+    def test_inspect_flags_corrupt_artifact(self, capsys):
+        (self.root / "bogus.sched").write_bytes(b"not a schedule artifact")
+        assert main(["cache", "inspect"]) == 1
+        assert "INVALID" in capsys.readouterr().out
