@@ -137,11 +137,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(workers rebuild schedules on demand)",
     )
 
-    p_rtl = sub.add_parser("rtl", help="emit the Verilog RTL project")
-    p_rtl.add_argument("--out", default="rtl", help="output directory")
+    p_rtl = sub.add_parser(
+        "rtl", help="emit the Verilog RTL project / co-simulate it against the golden models"
+    )
+    p_rtl.add_argument("--out", default="rtl", help="output directory (emit)")
     p_rtl.add_argument("--n-bits", type=int, default=8)
     p_rtl.add_argument("--acc-bits", type=int, default=2)
     p_rtl.add_argument("--lanes", type=int, default=16)
+    rtl_sub = p_rtl.add_subparsers(dest="rtl_command")
+    p_rtl_emit = rtl_sub.add_parser(
+        "emit", help="emit the RTL project (default when no subcommand)"
+    )
+    # same dests/defaults as the bare `rtl` form, so both spellings work
+    p_rtl_emit.add_argument("--out", default="rtl", help="output directory")
+    p_rtl_emit.add_argument("--n-bits", type=int, default=8)
+    p_rtl_emit.add_argument("--acc-bits", type=int, default=2)
+    p_rtl_emit.add_argument("--lanes", type=int, default=16)
+    p_rtl_verify = rtl_sub.add_parser(
+        "verify",
+        help="pure-Python co-simulation: interpret the emitted Verilog and "
+        "clock it in lockstep against the cycle-accurate golden models",
+    )
+    p_rtl_verify.add_argument(
+        "--n-bits",
+        dest="verify_n_bits",
+        default="3,4,8",
+        help="comma-separated precisions to verify (default: 3,4,8)",
+    )
+    p_rtl_verify.add_argument(
+        "--cycles",
+        dest="verify_cycles",
+        type=int,
+        default=4096,
+        help="clocked cycles per design per precision",
+    )
+    p_rtl_verify.add_argument(
+        "--seed", dest="verify_seed", type=int, default=2017, help="stimulus seed"
+    )
+    p_rtl_verify.add_argument(
+        "--acc-bits", dest="verify_acc_bits", type=int, default=2, help="accumulator guard bits"
+    )
+    p_rtl_verify.add_argument(
+        "--lanes", dest="verify_lanes", type=int, default=4, help="BISC-MVM lane count"
+    )
+    p_rtl_verify.add_argument(
+        "--design",
+        dest="verify_design",
+        choices=("fsm_mux", "sc_mac", "bisc_mvm", "all"),
+        default="all",
+        help="verify one design only (default: all)",
+    )
 
     sub.add_parser("info", help="version and available experiments")
 
@@ -289,11 +334,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_rtl(args: argparse.Namespace) -> int:
+    if getattr(args, "rtl_command", None) == "verify":
+        return _cmd_rtl_verify(args)
     from repro.core.verilog import write_rtl_project
 
     files = write_rtl_project(args.out, args.n_bits, args.acc_bits, args.lanes)
     for f in files:
         print(f"wrote {f}")
+    return 0
+
+
+def _cmd_rtl_verify(args: argparse.Namespace) -> int:
+    from repro.hw.cosim import DESIGNS, verify_design
+
+    try:
+        n_bits_list = tuple(int(v) for v in str(args.verify_n_bits).split(",") if v.strip())
+    except ValueError:
+        print(f"invalid --n-bits list: {args.verify_n_bits!r}", file=sys.stderr)
+        return 2
+    designs = DESIGNS if args.verify_design == "all" else (args.verify_design,)
+    failures = 0
+    for n_bits in n_bits_list:
+        for design in designs:
+            diff = verify_design(
+                design,
+                n_bits,
+                cycles=args.verify_cycles,
+                seed=args.verify_seed,
+                acc_bits=args.verify_acc_bits,
+                lanes=args.verify_lanes,
+            )
+            print(diff.format())
+            if not diff.ok:
+                failures += 1
+    total = len(n_bits_list) * len(designs)
+    if failures:
+        print(f"rtl verify: {failures}/{total} design runs DIVERGED")
+        return 1
+    print(f"rtl verify: all {total} design runs bit-exact")
     return 0
 
 

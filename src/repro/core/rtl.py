@@ -33,6 +33,10 @@ class FsmMuxRtl:
     def reset(self) -> None:
         self.count_reg = 1
 
+    def snapshot(self) -> dict[str, int]:
+        """Current register state, keyed by the emitted Verilog signal names."""
+        return {"count": self.count_reg}
+
     def clock(self) -> int:
         """One cycle: output the select, then advance the register."""
         sel = -1
@@ -77,6 +81,21 @@ class ScMacRtl:
         self.data_reg = 0
         self.accumulator = 0
         self.total_cycles = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Per-cycle architectural state, keyed by Verilog signal names.
+
+        This is the comparison contract of the co-simulation harness
+        (:mod:`repro.hw.cosim.equiv`): after every clock edge these
+        registers must equal the interpreted RTL's bit for bit.
+        """
+        return {
+            "acc": self.accumulator,
+            "down": self.down_counter,
+            "sign_w": self.sign_ff,
+            "x_offset": self.data_reg,
+            "busy": int(self.busy),
+        }
 
     def load(self, w_int: int, x_int: int) -> None:
         """Latch a new operand pair (only when idle)."""
@@ -142,6 +161,23 @@ class BiscMvmRtl:
         self.data_regs[:] = 0
         self.accumulators[:] = 0
         self.total_cycles = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Per-cycle architectural state with per-lane expansion.
+
+        Packed Verilog buses (``acc_flat``/``x_offset``) appear as one
+        entry per lane — ``acc[g]`` / ``x_offset[g]`` — so a signaldiff
+        names the diverging lane, not just the bus.
+        """
+        snap: dict[str, int] = {
+            "down": self.down_counter,
+            "sign_w": self.sign_ff,
+            "busy": int(self.busy),
+        }
+        for g in range(self.p):
+            snap[f"acc[{g}]"] = int(self.accumulators[g])
+            snap[f"x_offset[{g}]"] = int(self.data_regs[g])
+        return snap
 
     def load(self, w_int: int, x_vec) -> None:
         """Latch a weight and a lane vector (only when idle)."""

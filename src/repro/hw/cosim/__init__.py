@@ -1,0 +1,62 @@
+"""Pure-Python co-simulation of the emitted Verilog RTL.
+
+The paper's designs are "implemented and evaluated in Verilog RTL";
+:mod:`repro.core.verilog` regenerates that RTL, and this package makes
+it *executable* without an external simulator: a lexer/parser/
+interpreter for exactly the synthesizable subset the emitter produces
+(module ports, ``reg``/``wire``, ``always @(posedge clk)`` /
+``always @(*)``, if/else chains, procedural and generate ``for`` loops,
+module instantiation, ternaries, concatenation/replication, bit and
+part selects) plus an equivalence driver that clocks the parsed design
+in lockstep against the register-level golden models in
+:mod:`repro.core.rtl`.
+
+On divergence the driver emits a :class:`~repro.hw.cosim.equiv.SignalDiff`
+— first mismatching cycle, per-signal expected/actual traces around it,
+and a localization pass that re-runs the stimulus with each emitted
+submodule swapped for its golden Python twin to name the module that
+broke parity (the signaldiff / equivalence-checking loop of rtl-repair,
+scaled down to this repo's three designs).
+
+Entry points:
+
+- :func:`verify_design` / :func:`verify_all` — lockstep equivalence
+  over seeded stimulus (``repro rtl verify`` in the CLI).
+- :func:`run_testbench_vectors` — execute the golden vectors of an
+  emitted self-checking testbench through the interpreted DUT.
+- :func:`mutation_catalog` / :func:`apply_mutation` — single-token RTL
+  mutations used to prove the harness detects real breaks.
+"""
+
+from repro.hw.cosim.equiv import (
+    DESIGNS,
+    SignalDiff,
+    verify_all,
+    verify_bisc_mvm,
+    verify_design,
+    verify_fsm_mux,
+    verify_sc_mac,
+)
+from repro.hw.cosim.interp import CosimError, Simulator, elaborate
+from repro.hw.cosim.mutate import Mutation, apply_mutation, mutation_catalog
+from repro.hw.cosim.parser import parse_verilog
+from repro.hw.cosim.vectors import extract_testbench_vectors, run_testbench_vectors
+
+__all__ = [
+    "CosimError",
+    "DESIGNS",
+    "Mutation",
+    "SignalDiff",
+    "Simulator",
+    "apply_mutation",
+    "elaborate",
+    "extract_testbench_vectors",
+    "mutation_catalog",
+    "parse_verilog",
+    "run_testbench_vectors",
+    "verify_all",
+    "verify_bisc_mvm",
+    "verify_design",
+    "verify_fsm_mux",
+    "verify_sc_mac",
+]

@@ -1,0 +1,504 @@
+"""Lockstep equivalence of interpreted RTL vs the golden Python models.
+
+Each ``verify_*`` function elaborates the emitted Verilog with
+:mod:`repro.hw.cosim.interp`, drives it cycle by cycle with seeded
+stimulus (a deterministic boundary prologue — saturation rails, sign
+extremes, zero weights — followed by a random tail with loads, idle
+gaps and mid-stream resets), and compares the architectural state
+against the register-level golden model from :mod:`repro.core.rtl`
+after every clock edge.
+
+On divergence the result is a :class:`SignalDiff`: the first
+mismatching cycle, expected/actual traces for a window around it, and —
+for the designs with submodules — a localization verdict obtained by
+re-running the identical stimulus with the emitted ``fsm_mux`` output
+forced from a golden Python twin.  If the substitution restores parity
+the FSM is the culprit; otherwise the fault is in the top-level logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.rtl import BiscMvmRtl, FsmMuxRtl, ScMacRtl
+from repro.core.verilog import bisc_mvm_module, fsm_mux_module, sc_mac_module
+from repro.hw.cosim.interp import Simulator, elaborate
+
+__all__ = [
+    "DESIGNS",
+    "SignalDiff",
+    "verify_all",
+    "verify_bisc_mvm",
+    "verify_design",
+    "verify_fsm_mux",
+    "verify_sc_mac",
+]
+
+DESIGNS = ("fsm_mux", "sc_mac", "bisc_mvm")
+
+_WINDOW_BEFORE = 6
+_WINDOW_AFTER = 3
+
+
+@dataclass
+class SignalDiff:
+    """Outcome of one lockstep run; empty mismatch fields mean parity."""
+
+    design: str
+    n_bits: int
+    seed: int
+    cycles_run: int = 0
+    first_mismatch_cycle: int | None = None
+    mismatched_signals: tuple[str, ...] = ()
+    window_start: int = 0
+    traces: dict[str, tuple[list[int], list[int]]] = field(default_factory=dict)
+    culprit: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.first_mismatch_cycle is None
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"{self.design}: PASS — bit-exact over {self.cycles_run} cycles "
+                f"(seed={self.seed})"
+            )
+        lines = [
+            f"signaldiff {self.design} (seed={self.seed}): "
+            f"first mismatch at cycle {self.first_mismatch_cycle} "
+            f"in {', '.join(self.mismatched_signals)}"
+        ]
+        cycles = range(self.window_start, self.window_start + self._window_len())
+        header = "cycle".rjust(22) + "".join(f"{c:>8d}" for c in cycles)
+        lines.append("  " + header)
+        for name, (exp, act) in sorted(self.traces.items()):
+            flag = "*" if name in self.mismatched_signals else " "
+            lines.append(
+                f"  {flag}{name + ' expected':>20s}" + "".join(f"{v:>8d}" for v in exp)
+            )
+            lines.append(
+                f"  {flag}{name + ' actual':>20s}" + "".join(f"{v:>8d}" for v in act)
+            )
+        if self.culprit is not None:
+            lines.append(f"  localized to: {self.culprit}")
+        return "\n".join(lines)
+
+    def _window_len(self) -> int:
+        return max((len(exp) for exp, _ in self.traces.values()), default=0)
+
+
+class _Recorder:
+    """Sliding window of per-cycle snapshots feeding the diff report."""
+
+    def __init__(self) -> None:
+        self.buffer: list[tuple[int, dict, dict]] = []
+        self.first_mismatch: int | None = None
+        self.mismatched: tuple[str, ...] = ()
+        self.extra_left = _WINDOW_AFTER
+
+    def record(self, cycle: int, expected: dict, actual: dict) -> bool:
+        """Record one cycle; returns True while the run should continue."""
+        self.buffer.append((cycle, expected, actual))
+        if self.first_mismatch is None:
+            if len(self.buffer) > _WINDOW_BEFORE + 1:
+                self.buffer.pop(0)
+            bad = tuple(k for k in expected if expected[k] != actual[k])
+            if bad:
+                self.first_mismatch = cycle
+                self.mismatched = bad
+            return True
+        self.extra_left -= 1
+        return self.extra_left > 0
+
+    def finish(self, diff: SignalDiff) -> SignalDiff:
+        diff.first_mismatch_cycle = self.first_mismatch
+        diff.mismatched_signals = self.mismatched
+        if self.first_mismatch is not None and self.buffer:
+            diff.window_start = self.buffer[0][0]
+            names = self.buffer[0][1].keys()
+            diff.traces = {
+                name: (
+                    [exp[name] for _, exp, _ in self.buffer if name in exp],
+                    [act[name] for _, _, act in self.buffer if name in act],
+                )
+                for name in names
+            }
+        return diff
+
+
+# ------------------------------------------------------------------ fsm_mux
+def verify_fsm_mux(
+    n_bits: int, cycles: int = 4096, seed: int = 2017, source: str | None = None
+) -> SignalDiff:
+    """Free-running FSM+MUX generator vs :class:`FsmMuxRtl`.
+
+    Compares the combinational outputs (``sel``/``none``/``bit_out``)
+    before each edge and the counter register after it; ``data_in``
+    changes mid-stream and reset is re-asserted at random cycles.
+    """
+    source = fsm_mux_module(n_bits).source if source is None else source
+    sim = elaborate(source, f"fsm_mux_{n_bits}")
+    model = FsmMuxRtl(n_bits)
+    rng = np.random.default_rng(seed)
+    diff = SignalDiff(f"fsm_mux_{n_bits}", n_bits, seed)
+    rec = _Recorder()
+
+    data = int(rng.integers(0, 1 << n_bits))
+    sim.poke("rst", 1)
+    sim.poke("data_in", data)
+    sim.step()
+    model.reset()
+
+    for cycle in range(cycles):
+        if rng.integers(0, 8) == 0:
+            data = int(rng.integers(0, 1 << n_bits))
+            sim.poke("data_in", data)
+        rst = int(rng.integers(0, 64) == 0)
+        sim.poke("rst", rst)
+
+        actual = {
+            "bit_out": sim.peek("bit_out"),
+            "none": sim.peek("none"),
+            "sel": sim.peek("sel"),
+        }
+        p_sel = model.clock()
+        expected = {
+            "bit_out": 0 if p_sel < 0 else (data >> p_sel) & 1,
+            "none": int(p_sel < 0),
+            # when no bit is selected the emitted encoder parks sel at its
+            # default; the golden model has no equivalent, so mirror it
+            "sel": p_sel if p_sel >= 0 else actual["sel"],
+        }
+        sim.step()
+        if rst:
+            model.reset()
+        expected.update(model.snapshot())
+        actual["count"] = sim.peek("count")
+        diff.cycles_run = cycle + 1
+        if not rec.record(cycle, expected, actual):
+            break
+    rec.finish(diff)
+    if not diff.ok:
+        diff.culprit = f"fsm_mux_{n_bits} (single module)"
+    return diff
+
+
+# ------------------------------------------------------------------- sc_mac
+def _mac_prologue(n_bits: int) -> list[tuple]:
+    """Deterministic boundary stimulus: saturate both rails, sign/zero edges."""
+    lo = -(1 << (n_bits - 1))
+    hi = (1 << (n_bits - 1)) - 1
+    ops: list[tuple] = []
+    ops += [("load", hi, hi)] * 8  # drive the accumulator into ACC_MAX
+    ops += [("load", lo, hi)] * 16  # then down through zero into ACC_MIN
+    ops += [("reset",), ("load", 0, hi), ("idle",), ("load", hi, lo), ("load", lo, lo)]
+    ops += [("reset",)]
+    return ops
+
+
+def _mac_random_op(rng: np.random.Generator, n_bits: int) -> tuple:
+    lo = -(1 << (n_bits - 1))
+    hi = (1 << (n_bits - 1)) - 1
+    roll = int(rng.integers(0, 20))
+    if roll == 0:
+        return ("reset",)
+    if roll <= 2:
+        return ("idle",)
+    if roll <= 5:  # boundary operands stay frequent in the tail
+        w = int(rng.choice((lo, hi, 0, 1, -1)))
+        x = int(rng.choice((lo, hi, 0, 1, -1)))
+        return ("load", w, x)
+    return ("load", int(rng.integers(lo, hi + 1)), int(rng.integers(lo, hi + 1)))
+
+
+class _GoldenFsmForce:
+    """Forces an interpreted ``fsm_mux`` instance's output from a golden twin.
+
+    The twin free-runs exactly like the emitted instance (count advances
+    every cycle, resets when the parent pulses ``load``), and the forced
+    bit is computed from the *interpreted* data register so the
+    substitution isolates the FSM alone.
+    """
+
+    def __init__(self, sim: Simulator, n_bits: int, instances: dict[str, str]) -> None:
+        # instances: {flat bit_out net: flat data register (+ lane slice)}
+        self.sim = sim
+        self.n_bits = n_bits
+        self.twin = FsmMuxRtl(n_bits)
+        self.instances = instances
+
+    def pre_edge(self) -> None:
+        sel = self.twin.clock()
+        for bit_net, data_net in self.instances.items():
+            if sel < 0:
+                bit = 0
+            else:
+                word = self.sim.peek(data_net[0]) >> data_net[1]
+                bit = (word >> sel) & 1
+            self.sim.force(bit_net, bit)
+
+    def post_edge(self, load: int) -> None:
+        if load:
+            self.twin.reset()
+
+
+def _run_sc_mac(
+    n_bits: int,
+    acc_bits: int,
+    cycles: int,
+    seed: int,
+    source: str,
+    substitute_fsm: bool,
+) -> SignalDiff:
+    sim = elaborate(source, f"sc_mac_{n_bits}")
+    mac = ScMacRtl(n_bits, acc_bits)
+    rng = np.random.default_rng(seed)
+    diff = SignalDiff(f"sc_mac_{n_bits}", n_bits, seed)
+    rec = _Recorder()
+    mask = (1 << n_bits) - 1
+    forcer = None
+    if substitute_fsm:
+        # instance paths come from the emitter's structured metadata
+        instances = {
+            f"{path}.bit_out": ("x_offset", 0)
+            for path, _ in sc_mac_module(n_bits, acc_bits).submodules
+        }
+        forcer = _GoldenFsmForce(sim, n_bits, instances)
+
+    prologue = _mac_prologue(n_bits)
+    cycle = 0
+    broke = False
+    while cycle < cycles and not broke:
+        if mac.busy:
+            op = ("reset",) if int(rng.integers(0, 40)) == 0 else ("run",)
+        elif prologue:
+            op = prologue.pop(0)
+        else:
+            op = _mac_random_op(rng, n_bits)
+
+        rst = load = w = x = 0
+        if op[0] == "reset":
+            rst = 1
+        elif op[0] == "load":
+            load, w, x = 1, op[1], op[2]
+        sim.poke("rst", rst)
+        sim.poke("load", load)
+        sim.poke("w_in", w & mask)
+        sim.poke("x_in", x & mask)
+        if forcer is not None:
+            forcer.pre_edge()
+        sim.step()
+        if forcer is not None:
+            forcer.post_edge(load)
+
+        if rst:
+            mac.reset()
+        elif load:
+            mac.load(w, x)
+        else:
+            mac.clock()  # no-op when idle, one accumulate step when busy
+
+        expected = mac.snapshot()
+        actual = {
+            "acc": sim.peek_signed("acc"),
+            "down": sim.peek("down"),
+            "sign_w": sim.peek("sign_w"),
+            "x_offset": sim.peek("x_offset"),
+            "busy": sim.peek("busy"),
+        }
+        cycle += 1
+        diff.cycles_run = cycle
+        broke = not rec.record(cycle - 1, expected, actual)
+    return rec.finish(diff)
+
+
+def verify_sc_mac(
+    n_bits: int,
+    cycles: int = 4096,
+    seed: int = 2017,
+    acc_bits: int = 2,
+    source: str | None = None,
+) -> SignalDiff:
+    """Signed SC-MAC vs :class:`ScMacRtl`, with FSM-substitution localization."""
+    if source is None:
+        source = sc_mac_module(n_bits, acc_bits).source
+    diff = _run_sc_mac(n_bits, acc_bits, cycles, seed, source, substitute_fsm=False)
+    if not diff.ok:
+        retry = _run_sc_mac(n_bits, acc_bits, cycles, seed, source, substitute_fsm=True)
+        if retry.ok or (retry.first_mismatch_cycle or 0) > diff.first_mismatch_cycle:
+            diff.culprit = (
+                f"fsm_mux_{n_bits} (instance u_fsm): parity restored by "
+                "substituting the golden FSM"
+            )
+        else:
+            diff.culprit = (
+                f"sc_mac_{n_bits} top-level logic: mismatch persists with "
+                "the golden FSM substituted"
+            )
+    return diff
+
+
+# ----------------------------------------------------------------- bisc_mvm
+def _run_bisc_mvm(
+    n_bits: int,
+    lanes: int,
+    acc_bits: int,
+    cycles: int,
+    seed: int,
+    source: str,
+    substitute_fsm: bool,
+) -> SignalDiff:
+    sim = elaborate(source, f"bisc_mvm_{n_bits}x{lanes}")
+    mvm = BiscMvmRtl(n_bits, lanes, acc_bits)
+    rng = np.random.default_rng(seed)
+    diff = SignalDiff(f"bisc_mvm_{n_bits}x{lanes}", n_bits, seed)
+    rec = _Recorder()
+    mask = (1 << n_bits) - 1
+    aw = n_bits + acc_bits
+    lo = -(1 << (n_bits - 1))
+    hi = (1 << (n_bits - 1)) - 1
+    forcer = None
+    if substitute_fsm:
+        instances = {
+            f"{path}.bit_out": ("x_offset", g * n_bits)
+            for g, (path, _) in enumerate(bisc_mvm_module(n_bits, lanes, acc_bits).submodules)
+        }
+        forcer = _GoldenFsmForce(sim, n_bits, instances)
+
+    # Boundary prologue: saturate every lane both ways, then sign edges.
+    prologue: list[tuple] = []
+    prologue += [("load", hi, (hi,) * lanes)] * 8
+    prologue += [("load", lo, (hi,) * lanes)] * 16
+    prologue += [("reset",), ("load", hi, tuple(lo if g % 2 else hi for g in range(lanes)))]
+    prologue += [("load", 0, (lo,) * lanes), ("idle",), ("reset",)]
+
+    cycle = 0
+    broke = False
+    while cycle < cycles and not broke:
+        if mvm.busy:
+            op = ("reset",) if int(rng.integers(0, 40)) == 0 else ("run",)
+        elif prologue:
+            op = prologue.pop(0)
+        elif int(rng.integers(0, 10)) == 0:
+            op = ("idle",)
+        else:
+            op = (
+                "load",
+                int(rng.integers(lo, hi + 1)),
+                tuple(int(v) for v in rng.integers(lo, hi + 1, size=lanes)),
+            )
+
+        rst = load = w = 0
+        xs: tuple = (0,) * lanes
+        if op[0] == "reset":
+            rst = 1
+        elif op[0] == "load":
+            load, w, xs = 1, op[1], op[2]
+        x_flat = 0
+        for g, v in enumerate(xs):
+            x_flat |= (v & mask) << (g * n_bits)
+        sim.poke("rst", rst)
+        sim.poke("load", load)
+        sim.poke("w_in", w & mask)
+        sim.poke("x_flat", x_flat)
+        if forcer is not None:
+            forcer.pre_edge()
+        sim.step()
+        if forcer is not None:
+            forcer.post_edge(load)
+
+        if rst:
+            mvm.reset()
+        elif load:
+            mvm.load(w, list(xs))
+        else:
+            mvm.clock()
+
+        expected = mvm.snapshot()
+        actual = {
+            "down": sim.peek("down"),
+            "sign_w": sim.peek("sign_w"),
+            "busy": sim.peek("busy"),
+        }
+        acc_flat = sim.peek("acc_flat")
+        x_off = sim.peek("x_offset")
+        acc_mask = (1 << aw) - 1
+        for g in range(lanes):
+            lane = (acc_flat >> (g * aw)) & acc_mask
+            actual[f"acc[{g}]"] = lane - (1 << aw) if lane >= (1 << (aw - 1)) else lane
+            actual[f"x_offset[{g}]"] = (x_off >> (g * n_bits)) & mask
+        cycle += 1
+        diff.cycles_run = cycle
+        broke = not rec.record(cycle - 1, expected, actual)
+    return rec.finish(diff)
+
+
+def verify_bisc_mvm(
+    n_bits: int,
+    lanes: int = 4,
+    cycles: int = 4096,
+    seed: int = 2017,
+    acc_bits: int = 2,
+    source: str | None = None,
+) -> SignalDiff:
+    """``p``-lane BISC-MVM vs :class:`BiscMvmRtl`, with FSM localization."""
+    if source is None:
+        source = bisc_mvm_module(n_bits, lanes, acc_bits).source
+    diff = _run_bisc_mvm(n_bits, lanes, acc_bits, cycles, seed, source, False)
+    if not diff.ok:
+        retry = _run_bisc_mvm(n_bits, lanes, acc_bits, cycles, seed, source, True)
+        if retry.ok or (retry.first_mismatch_cycle or 0) > diff.first_mismatch_cycle:
+            diff.culprit = (
+                f"fsm_mux_{n_bits} (generate lanes[*].u_mux): parity restored "
+                "by substituting the golden FSM"
+            )
+        else:
+            diff.culprit = (
+                f"bisc_mvm_{n_bits}x{lanes} top-level logic: mismatch persists "
+                "with the golden FSM substituted"
+            )
+    return diff
+
+
+# ----------------------------------------------------------------- dispatch
+def verify_design(
+    design: str,
+    n_bits: int,
+    cycles: int = 4096,
+    seed: int = 2017,
+    acc_bits: int = 2,
+    lanes: int = 4,
+    source: str | None = None,
+) -> SignalDiff:
+    """Run one design's lockstep equivalence; ``design`` ∈ ``DESIGNS``."""
+    if design == "fsm_mux":
+        return verify_fsm_mux(n_bits, cycles, seed, source=source)
+    if design == "sc_mac":
+        return verify_sc_mac(n_bits, cycles, seed, acc_bits=acc_bits, source=source)
+    if design == "bisc_mvm":
+        return verify_bisc_mvm(
+            n_bits, lanes=lanes, cycles=cycles, seed=seed, acc_bits=acc_bits, source=source
+        )
+    raise ValueError(f"unknown design {design!r}; expected one of {DESIGNS}")
+
+
+def verify_all(
+    n_bits_list: tuple[int, ...] = (3, 4, 8),
+    cycles: int = 4096,
+    seed: int = 2017,
+    acc_bits: int = 2,
+    lanes: int = 4,
+) -> list[SignalDiff]:
+    """Every design at every requested precision; returns all SignalDiffs."""
+    results = []
+    for n_bits in n_bits_list:
+        for design in DESIGNS:
+            results.append(
+                verify_design(
+                    design, n_bits, cycles=cycles, seed=seed, acc_bits=acc_bits, lanes=lanes
+                )
+            )
+    return results

@@ -1,0 +1,541 @@
+"""Elaboration and two-phase clocked simulation of parsed Verilog.
+
+The hierarchy is flattened at elaboration time: every instance's
+signals enter one namespace under ``inst.`` prefixes (generate-loop
+instances as ``label[i].inst.``), port connections become continuous
+assignments, and ``generate`` loops are unrolled with their genvar
+bound as a constant.  Expressions compile once into Python closures
+over the flat value table, so the per-cycle cost is closure calls, not
+AST walks.
+
+Simulation semantics (the subset's contract, documented in
+``docs/testing.md``):
+
+- **two-state**: every net starts at 0; there is no ``x``/``z``.  The
+  equivalence drivers always reset before sampling, so uninitialised
+  state never reaches a comparison.
+- **single clock domain**: all ``always @(posedge clk)`` processes fire
+  on :meth:`Simulator.step`, sampling pre-edge values (nonblocking
+  assignments collect into a queue and commit together).
+- **pattern arithmetic**: values are unsigned bit patterns; arithmetic
+  wraps at the expression's inferred width and again at the assignment
+  target, which matches Verilog for the emitted designs (equality
+  compares, saturation rails, two's-complement negation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cosim import vast as A
+from repro.hw.cosim.parser import parse_verilog
+
+__all__ = ["CosimError", "Simulator", "elaborate"]
+
+_MAX_SETTLE_ITERS = 64
+_MAX_LOOP_ITERS = 1 << 16
+
+
+class CosimError(RuntimeError):
+    """Design uses semantics the interpreter does not model."""
+
+
+@dataclass(frozen=True)
+class _Signal:
+    width: int
+    signed: bool
+    kind: str  # 'wire' | 'reg' | 'input' | 'output'
+
+
+class _Scope:
+    """Per-instance name resolution: consts, integer vars, flat signals."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.consts: dict[str, int] = {}
+        self.integers: set[str] = set()
+        self.locals_: dict[str, int] = {}  # names that are module-level signals
+
+    def flat(self, name: str) -> str:
+        return self.prefix + name
+
+
+class _Builder:
+    def __init__(self, modules: dict[str, A.Module]) -> None:
+        self.modules = modules
+        self.signals: dict[str, _Signal] = {}
+        self.comb: list = []  # callables ()
+        self.ff: list = []  # callables (nbq)
+        self.values: dict[str, int] = {}
+
+    # ------------------------------------------------------------ constants
+    def const_eval(self, expr, scope: _Scope) -> int:
+        value, _ = self._const_eval_width(expr, scope)
+        return value
+
+    def _const_eval_width(self, expr, scope: _Scope) -> tuple[int, int]:
+        if isinstance(expr, A.Num):
+            return expr.value, (expr.width if expr.width is not None else 32)
+        if isinstance(expr, A.Id):
+            if expr.name in scope.consts:
+                return scope.consts[expr.name], 32
+            raise CosimError(f"{expr.name!r} is not a constant in this context")
+        if isinstance(expr, A.Unary):
+            v, w = self._const_eval_width(expr.operand, scope)
+            if expr.op == "~":
+                return (~v) & ((1 << w) - 1), w
+            if expr.op == "!":
+                return int(v == 0), 1
+            return (-v) & ((1 << w) - 1), w
+        if isinstance(expr, A.Binary):
+            lv, lw = self._const_eval_width(expr.left, scope)
+            rv, rw = self._const_eval_width(expr.right, scope)
+            w = max(lw, rw)
+            return _apply_binary(expr.op, lv, rv, w), _binary_width(expr.op, lw, rw)
+        if isinstance(expr, A.Ternary):
+            c, _ = self._const_eval_width(expr.cond, scope)
+            return self._const_eval_width(expr.then if c else expr.other, scope)
+        if isinstance(expr, A.Concat):
+            value, total = 0, 0
+            for part in expr.parts:
+                v, w = self._const_eval_width(part, scope)
+                value = (value << w) | (v & ((1 << w) - 1))
+                total += w
+            return value, total
+        if isinstance(expr, A.Repl):
+            count, _ = self._const_eval_width(expr.count, scope)
+            v, w = self._const_eval_width(expr.value, scope)
+            value = 0
+            for _ in range(count):
+                value = (value << w) | (v & ((1 << w) - 1))
+            return value, count * w
+        raise CosimError(f"expression is not constant: {type(expr).__name__}")
+
+    # ---------------------------------------------------------- compilation
+    def compile_expr(self, expr, scope: _Scope):
+        """Compile to ``(fn(L) -> int, width)``; ``L`` holds loop variables."""
+        V = self.values
+        if isinstance(expr, A.Num):
+            v = expr.value
+            return (lambda L: v), (expr.width if expr.width is not None else 32)
+        if isinstance(expr, A.Id):
+            name = expr.name
+            if name in scope.consts:
+                c = scope.consts[name]
+                return (lambda L: c), 32
+            if name in scope.integers:
+                return (lambda L: L[name]), 32
+            flat = self._resolve(name, scope)
+            return (lambda L: V[flat]), self.signals[flat].width
+        if isinstance(expr, A.BitSelect):
+            flat = self._resolve(expr.base.name, scope)
+            idx_fn, _ = self.compile_expr(expr.index, scope)
+            return (lambda L: (V[flat] >> idx_fn(L)) & 1), 1
+        if isinstance(expr, A.PartSelect):
+            flat = self._resolve(expr.base.name, scope)
+            msb = self.const_eval(expr.msb, scope)
+            lsb = self.const_eval(expr.lsb, scope)
+            if msb < lsb:
+                raise CosimError(f"descending part select on {expr.base.name}")
+            width = msb - lsb + 1
+            mask = (1 << width) - 1
+            return (lambda L: (V[flat] >> lsb) & mask), width
+        if isinstance(expr, A.IndexedPart):
+            flat = self._resolve(expr.base.name, scope)
+            start_fn, _ = self.compile_expr(expr.start, scope)
+            width = self.const_eval(expr.width, scope)
+            mask = (1 << width) - 1
+            return (lambda L: (V[flat] >> start_fn(L)) & mask), width
+        if isinstance(expr, A.Concat):
+            parts = [self.compile_expr(p, scope) for p in expr.parts]
+            total = sum(w for _, w in parts)
+
+            def concat_fn(L, parts=tuple(parts)):
+                value = 0
+                for fn, w in parts:
+                    value = (value << w) | (fn(L) & ((1 << w) - 1))
+                return value
+
+            return concat_fn, total
+        if isinstance(expr, A.Repl):
+            count = self.const_eval(expr.count, scope)
+            fn, w = self.compile_expr(expr.value, scope)
+            mask = (1 << w) - 1
+
+            def repl_fn(L):
+                v = fn(L) & mask
+                value = 0
+                for _ in range(count):
+                    value = (value << w) | v
+                return value
+
+            return repl_fn, count * w
+        if isinstance(expr, A.Unary):
+            fn, w = self.compile_expr(expr.operand, scope)
+            mask = (1 << w) - 1
+            if expr.op == "~":
+                return (lambda L: (~fn(L)) & mask), w
+            if expr.op == "!":
+                return (lambda L: int(fn(L) == 0)), 1
+            return (lambda L: (-fn(L)) & mask), w
+        if isinstance(expr, A.Binary):
+            lf, lw = self.compile_expr(expr.left, scope)
+            rf, rw = self.compile_expr(expr.right, scope)
+            w = max(lw, rw)
+            op = expr.op
+            fn = _BINARY_FNS.get(op)
+            if fn is None:
+                raise CosimError(f"unsupported binary operator {op!r}")
+            mask = (1 << w) - 1
+            if op in ("+", "-", "*", "<<"):
+                return (lambda L: fn(lf(L), rf(L)) & mask), w
+            return (lambda L: fn(lf(L), rf(L))), _binary_width(op, lw, rw)
+        if isinstance(expr, A.Ternary):
+            cf, _ = self.compile_expr(expr.cond, scope)
+            tf, tw = self.compile_expr(expr.then, scope)
+            of, ow = self.compile_expr(expr.other, scope)
+            return (lambda L: tf(L) if cf(L) else of(L)), max(tw, ow)
+        if isinstance(expr, A.SysCall):
+            # $signed() only changes how a value *would* print/compare in
+            # contexts the subset never mixes; the pattern is unchanged.
+            return self.compile_expr(expr.arg, scope)
+        raise CosimError(f"unsupported expression {type(expr).__name__}")
+
+    def _resolve(self, name: str, scope: _Scope) -> str:
+        flat = scope.flat(name)
+        if flat not in self.signals:
+            raise CosimError(f"undeclared identifier {name!r} (as {flat!r})")
+        return flat
+
+    def compile_lhs(self, lhs, scope: _Scope):
+        """Compile to ``(flat_name, base_fn(L) -> int, width)``."""
+        if isinstance(lhs, A.Id):
+            flat = self._resolve(lhs.name, scope)
+            return flat, (lambda L: 0), self.signals[flat].width
+        if isinstance(lhs, A.BitSelect):
+            flat = self._resolve(lhs.base.name, scope)
+            idx_fn, _ = self.compile_expr(lhs.index, scope)
+            return flat, idx_fn, 1
+        if isinstance(lhs, A.PartSelect):
+            flat = self._resolve(lhs.base.name, scope)
+            msb = self.const_eval(lhs.msb, scope)
+            lsb = self.const_eval(lhs.lsb, scope)
+            return flat, (lambda L: lsb), msb - lsb + 1
+        if isinstance(lhs, A.IndexedPart):
+            flat = self._resolve(lhs.base.name, scope)
+            start_fn, _ = self.compile_expr(lhs.start, scope)
+            return flat, start_fn, self.const_eval(lhs.width, scope)
+        raise CosimError(f"unsupported assignment target {type(lhs).__name__}")
+
+    def _write(self, flat: str, base: int, width: int, value: int) -> None:
+        mask = (1 << width) - 1
+        full = (1 << self.signals[flat].width) - 1
+        merged = (self.values[flat] & ~(mask << base)) | ((value & mask) << base)
+        self.values[flat] = merged & full
+
+    def compile_stmts(self, stmts, scope: _Scope, blocking_only: bool):
+        """Compile a statement list to one ``fn(L, nbq)`` closure."""
+        compiled = [self._compile_stmt(s, scope, blocking_only) for s in stmts]
+
+        def run(L, nbq):
+            for fn in compiled:
+                fn(L, nbq)
+
+        return run
+
+    def _compile_stmt(self, stmt, scope: _Scope, blocking_only: bool):
+        write = self._write
+        if isinstance(stmt, A.Blocking):
+            flat, base_fn, width = self.compile_lhs(stmt.lhs, scope)
+            rhs_fn, _ = self.compile_expr(stmt.rhs, scope)
+            return lambda L, nbq: write(flat, base_fn(L), width, rhs_fn(L))
+        if isinstance(stmt, A.NonBlocking):
+            if blocking_only:
+                raise CosimError("nonblocking assignment inside always @(*)")
+            flat, base_fn, width = self.compile_lhs(stmt.lhs, scope)
+            rhs_fn, _ = self.compile_expr(stmt.rhs, scope)
+            return lambda L, nbq: nbq.append((flat, base_fn(L), width, rhs_fn(L)))
+        if isinstance(stmt, A.If):
+            cond_fn, _ = self.compile_expr(stmt.cond, scope)
+            then_fn = self.compile_stmts(stmt.then, scope, blocking_only)
+            else_fn = self.compile_stmts(stmt.other, scope, blocking_only)
+            return lambda L, nbq: then_fn(L, nbq) if cond_fn(L) else else_fn(L, nbq)
+        if isinstance(stmt, A.For):
+            var = stmt.var
+            if var not in scope.integers:
+                raise CosimError(f"for-loop variable {var!r} is not an integer")
+            init_fn, _ = self.compile_expr(stmt.init, scope)
+            cond_fn, _ = self.compile_expr(stmt.cond, scope)
+            step_fn, _ = self.compile_expr(stmt.step, scope)
+            body_fn = self.compile_stmts(stmt.body, scope, blocking_only)
+
+            def run_for(L, nbq):
+                L[var] = init_fn(L)
+                for _ in range(_MAX_LOOP_ITERS):
+                    if not cond_fn(L):
+                        return
+                    body_fn(L, nbq)
+                    L[var] = step_fn(L)
+                raise CosimError(f"for-loop over {var!r} exceeded {_MAX_LOOP_ITERS} iterations")
+
+            return run_for
+        raise CosimError(f"unsupported statement {type(stmt).__name__}")
+
+    # ---------------------------------------------------------- elaboration
+    def declare(self, flat: str, width: int, signed: bool, kind: str) -> None:
+        if flat in self.signals:
+            raise CosimError(f"duplicate signal {flat!r}")
+        if width <= 0:
+            raise CosimError(f"signal {flat!r} has non-positive width {width}")
+        self.signals[flat] = _Signal(width, signed, kind)
+        self.values[flat] = 0
+
+    def instantiate(self, module_name: str, prefix: str, conns, parent_scope) -> None:
+        mod = self.modules.get(module_name)
+        if mod is None:
+            raise CosimError(f"unknown module {module_name!r}")
+        scope = _Scope(prefix)
+
+        # Declarations first so port connections and statements resolve.
+        port_dirs: dict[str, str] = {}
+        for port in mod.ports:
+            width = self.const_eval(port.width, scope)
+            self.declare(scope.flat(port.name), width, port.signed, port.direction)
+            port_dirs[port.name] = port.direction
+        self._declare_items(mod.items, scope)
+
+        # Port connections become continuous assignments across the
+        # flattened boundary (inputs: parent expr -> child port; outputs:
+        # child port -> parent lvalue).
+        if conns is not None:
+            connected = set()
+            for port_name, expr in conns:
+                if port_name not in port_dirs:
+                    raise CosimError(f"{module_name}.{port_name}: no such port")
+                if port_name in connected:
+                    raise CosimError(f"{module_name}.{port_name} connected twice")
+                connected.add(port_name)
+                if expr is None:
+                    continue
+                child_flat = scope.flat(port_name)
+                child_width = self.signals[child_flat].width
+                if port_dirs[port_name] == "input":
+                    src_fn, _ = self.compile_expr(expr, parent_scope)
+                    self.comb.append(self._make_port_in(child_flat, child_width, src_fn))
+                else:
+                    flat, base_fn, width = self.compile_lhs(expr, parent_scope)
+                    self.comb.append(
+                        self._make_port_out(flat, base_fn, width, child_flat)
+                    )
+
+        self._build_items(mod.items, scope)
+
+    def _make_port_in(self, child_flat, child_width, src_fn):
+        values = self.values
+        mask = (1 << child_width) - 1
+        return lambda: values.__setitem__(child_flat, src_fn(None) & mask)
+
+    def _make_port_out(self, flat, base_fn, width, child_flat):
+        values = self.values
+        write = self._write
+        return lambda: write(flat, base_fn(None), width, values[child_flat])
+
+    def _declare_items(self, items, scope: _Scope) -> None:
+        for item in items:
+            if isinstance(item, A.NetDecl):
+                width = self.const_eval(item.width, scope)
+                self.declare(scope.flat(item.name), width, item.signed, item.kind)
+            elif isinstance(item, A.VarDecl):
+                if item.kind == "integer":
+                    scope.integers.add(item.name)
+                else:  # genvar: becomes a const per generate iteration
+                    pass
+            elif isinstance(item, A.Localparam):
+                scope.consts[item.name] = self.const_eval(item.value, scope)
+
+    def _build_items(self, items, scope: _Scope) -> None:
+        for item in items:
+            if isinstance(item, A.NetDecl):
+                if item.init is not None:
+                    fn = self.compile_stmts(
+                        (A.Blocking(A.Id(item.name), item.init),), scope, True
+                    )
+                    self.comb.append(lambda fn=fn: fn({}, None))
+            elif isinstance(item, A.ContAssign):
+                fn = self.compile_stmts((A.Blocking(item.lhs, item.rhs),), scope, True)
+                self.comb.append(lambda fn=fn: fn({}, None))
+            elif isinstance(item, A.AlwaysComb):
+                fn = self.compile_stmts(item.body, scope, True)
+                self.comb.append(lambda fn=fn: fn({}, None))
+            elif isinstance(item, A.AlwaysFF):
+                fn = self.compile_stmts(item.body, scope, False)
+                self.ff.append(lambda nbq, fn=fn: fn({}, nbq))
+            elif isinstance(item, A.Instance):
+                self.instantiate(item.module, scope.prefix + item.name + ".", item.conns, scope)
+            elif isinstance(item, A.GenerateFor):
+                self._build_generate(item, scope)
+            elif isinstance(item, (A.VarDecl, A.Localparam)):
+                pass  # handled in the declaration pass
+            else:
+                raise CosimError(f"unsupported module item {type(item).__name__}")
+
+    def _build_generate(self, gen: A.GenerateFor, scope: _Scope) -> None:
+        value = self.const_eval(gen.init, scope)
+        for _ in range(_MAX_LOOP_ITERS):
+            scope.consts[gen.var] = value
+            if not self.const_eval(gen.cond, scope):
+                break
+            iter_prefix = f"{scope.prefix}{gen.label}[{value}]."
+            for item in gen.body:
+                if isinstance(item, A.Instance):
+                    self.instantiate(item.module, iter_prefix + item.name + ".", item.conns, scope)
+                else:
+                    raise CosimError(
+                        f"generate body supports only instantiations, got {type(item).__name__}"
+                    )
+            value = self.const_eval(gen.step, scope)
+        else:
+            raise CosimError(f"generate loop over {gen.var!r} did not terminate")
+        scope.consts.pop(gen.var, None)
+
+
+def _apply_binary(op: str, a: int, b: int, width: int) -> int:
+    mask = (1 << width) - 1
+    fn = _BINARY_FNS.get(op)
+    if fn is None:
+        raise CosimError(f"unsupported binary operator {op!r}")
+    result = fn(a, b)
+    if op in ("+", "-", "*", "<<"):
+        result &= mask
+    return result
+
+
+def _binary_width(op: str, lw: int, rw: int) -> int:
+    if op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+        return 1
+    return max(lw, rw)
+
+
+_BINARY_FNS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+class Simulator:
+    """Flattened single-clock design: poke inputs, step the clock, peek nets.
+
+    ``force``/``release`` override a net's driven value during settle —
+    the hook the localization pass uses to swap an emitted submodule's
+    output for its golden Python twin.
+    """
+
+    def __init__(self, builder: _Builder, top: A.Module) -> None:
+        self._signals = builder.signals
+        self.values = builder.values
+        self._comb = builder.comb
+        self._ff = builder.ff
+        self._forces: dict[str, int] = {}
+        self._dirty = True
+        self.inputs = tuple(p.name for p in top.ports if p.direction == "input")
+        self.outputs = tuple(p.name for p in top.ports if p.direction == "output")
+        self.cycles = 0
+
+    # -------------------------------------------------------------- access
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._signals)
+
+    def width(self, name: str) -> int:
+        return self._signals[name].width
+
+    def poke(self, name: str, value: int) -> None:
+        sig = self._signals[name]
+        self.values[name] = value & ((1 << sig.width) - 1)
+        self._dirty = True
+
+    def peek(self, name: str) -> int:
+        if self._dirty:
+            self.settle()
+        return self.values[name]
+
+    def peek_signed(self, name: str) -> int:
+        value = self.peek(name)
+        width = self._signals[name].width
+        if value >= (1 << (width - 1)):
+            value -= 1 << width
+        return value
+
+    def force(self, name: str, value: int) -> None:
+        sig = self._signals[name]
+        self._forces[name] = value & ((1 << sig.width) - 1)
+        self._dirty = True
+
+    def release(self, name: str) -> None:
+        self._forces.pop(name, None)
+        self._dirty = True
+
+    # ---------------------------------------------------------- simulation
+    def settle(self) -> None:
+        """Run combinational processes to a fixpoint."""
+        values = self.values
+        forces = self._forces
+        values.update(forces)
+        for _ in range(_MAX_SETTLE_ITERS):
+            before = dict(values)
+            for proc in self._comb:
+                proc()
+            values.update(forces)
+            if values == before:
+                self._dirty = False
+                return
+        raise CosimError("combinational logic did not settle (loop?)")
+
+    def step(self, n: int = 1) -> None:
+        """``n`` positive clock edges with nonblocking-assignment semantics."""
+        for _ in range(n):
+            self.settle()
+            nbq: list[tuple[str, int, int, int]] = []
+            for proc in self._ff:
+                proc(nbq)
+            signals = self._signals
+            values = self.values
+            for flat, base, width, value in nbq:
+                mask = (1 << width) - 1
+                full = (1 << signals[flat].width) - 1
+                values[flat] = (
+                    (values[flat] & ~(mask << base)) | ((value & mask) << base)
+                ) & full
+            self._dirty = True
+            self.cycles += 1
+
+
+def elaborate(source: str | dict, top: str) -> Simulator:
+    """Parse (if needed) and flatten ``top``; returns a ready Simulator.
+
+    ``source`` is Verilog text containing every needed module, or a
+    ``{name: Module}`` dict from :func:`~repro.hw.cosim.parser.parse_verilog`.
+    """
+    modules = parse_verilog(source) if isinstance(source, str) else source
+    if top not in modules:
+        raise CosimError(f"top module {top!r} not found (have {sorted(modules)})")
+    builder = _Builder(modules)
+    builder.instantiate(top, "", None, None)
+    sim = Simulator(builder, modules[top])
+    sim.settle()
+    return sim

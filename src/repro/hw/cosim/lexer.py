@@ -1,0 +1,147 @@
+"""Tokenizer for the synthesizable Verilog subset the emitter produces.
+
+Only what :mod:`repro.core.verilog` emits is supported; anything else
+raises :class:`LexError` with a line number so a bad (or mutated)
+source fails loudly instead of being silently misread.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["LexError", "Token", "tokenize", "KEYWORDS"]
+
+
+class LexError(ValueError):
+    """Input contains a character sequence outside the subset."""
+
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "signed",
+        "localparam",
+        "parameter",
+        "assign",
+        "always",
+        "posedge",
+        "negedge",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "for",
+        "integer",
+        "genvar",
+        "generate",
+        "endgenerate",
+    }
+)
+
+# Longest first so e.g. "<=" never lexes as "<" then "=".
+_PUNCT = (
+    "+:",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ":",
+    ",",
+    ".",
+    "?",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "~",
+    "^",
+    "&",
+    "|",
+    "!",
+    "@",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*)
+    | (?P<sized>\d+\s*'\s*[bodhBODH][0-9a-fA-F_xXzZ]+)
+    | (?P<number>\d[\d_]*)
+    | (?P<ident>\$?[A-Za-z_][A-Za-z0-9_$]*)
+    | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCT) + r""")
+    """,
+    re.VERBOSE,
+)
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'number' | 'punct'
+    value: str | int
+    line: int
+    width: int | None = None  # sized literals carry their declared width
+
+
+def _parse_sized(text: str, line: int) -> Token:
+    width_str, rest = text.split("'", 1)
+    base_char = rest.strip()[0].lower()
+    digits = rest.strip()[1:].replace("_", "")
+    if any(c in "xXzZ" for c in digits):
+        raise LexError(f"line {line}: 4-state literal {text!r} not supported (2-state subset)")
+    value = int(digits, _BASES[base_char])
+    width = int(width_str)
+    if value >= (1 << width):
+        raise LexError(f"line {line}: literal {text!r} overflows its declared width")
+    return Token("number", value, line, width=width)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, raising :class:`LexError` on anything foreign."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            snippet = source[pos : pos + 20].splitlines()[0]
+            raise LexError(f"line {line}: cannot tokenize {snippet!r}")
+        text = m.group(0)
+        if m.lastgroup == "ws" or m.lastgroup == "comment":
+            pass
+        elif m.lastgroup == "sized":
+            tokens.append(_parse_sized(text, line))
+        elif m.lastgroup == "number":
+            tokens.append(Token("number", int(text.replace("_", "")), line))
+        elif m.lastgroup == "ident":
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token("punct", text, line))
+        line += text.count("\n")
+        pos = m.end()
+    return tokens

@@ -1,0 +1,101 @@
+"""Single-token mutations of the emitted RTL, for harness self-tests.
+
+An equivalence harness that has never caught a bug is indistinguishable
+from one that cannot.  :func:`mutation_catalog` produces a fixed set of
+realistic single-token breaks — operator flips, off-by-one constants, a
+dropped reset, a swapped saturation rail — and the mutation smoke tests
+assert that every one of them yields a non-empty
+:class:`~repro.hw.cosim.equiv.SignalDiff` naming the first divergent
+cycle and signal (the mutation half of rtl-repair's benchmark loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Mutation", "apply_mutation", "mutation_catalog"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One textual edit: ``old`` must occur in the source, once replaced."""
+
+    name: str
+    design: str  # which verify_* should catch it: 'fsm_mux' | 'sc_mac' | 'bisc_mvm'
+    old: str
+    new: str
+    description: str
+
+
+def mutation_catalog(n_bits: int, acc_bits: int = 2) -> tuple[Mutation, ...]:
+    """The smoke set, instantiated for one precision's emitted text."""
+    n = n_bits
+    aw = n_bits + acc_bits
+    return (
+        Mutation(
+            "fsm-counter-direction",
+            "fsm_mux",
+            f"count <= count + {n}'d1",
+            f"count <= count - {n}'d1",
+            "FSM counter walks backwards: the low-discrepancy pattern inverts",
+        ),
+        Mutation(
+            "fsm-encoder-constant",
+            "fsm_mux",
+            f"if (count[0]) sel = {n - 1};",
+            f"if (count[0]) sel = {n - 2};",
+            "priority encoder picks the wrong data bit half the cycles",
+        ),
+        Mutation(
+            "mac-accumulate-flip",
+            "sc_mac",
+            "acc + 1'b1",
+            "acc - 1'b1",
+            "up-count becomes down-count: every positive product negates",
+        ),
+        Mutation(
+            "mac-sign-xor-to-or",
+            "sc_mac",
+            "mux_bit ^ sign_w",
+            "mux_bit | sign_w",
+            "sign correction ORs instead of XORs: negative weights count up",
+        ),
+        Mutation(
+            "mac-down-off-by-one",
+            "sc_mac",
+            f"down <= down - {n}'d1;",
+            f"down <= down - {n}'d2;",
+            "down counter skips: MACs finish early with half the stream",
+        ),
+        Mutation(
+            "mac-dropped-reset",
+            "sc_mac",
+            f"acc      <= {aw}'d0;",
+            "acc      <= acc;",
+            "reset no longer clears the accumulator",
+        ),
+        Mutation(
+            "mac-saturation-rail-swap",
+            "sc_mac",
+            "(acc == ACC_MAX) ? ACC_MAX : acc + 1'b1",
+            "(acc == ACC_MAX) ? ACC_MIN : acc + 1'b1",
+            "saturating at the top rail wraps to the bottom rail",
+        ),
+        Mutation(
+            "mvm-lane-sign-flip",
+            "bisc_mvm",
+            "if (lane_bits[i] ^ sign_w) begin",
+            "if (lane_bits[i] == sign_w) begin",
+            "lane up/down decision inverts for positive weights",
+        ),
+    )
+
+
+def apply_mutation(source: str, mutation: Mutation) -> str:
+    """Return ``source`` with the mutation applied (exactly one site)."""
+    if mutation.old not in source:
+        raise ValueError(
+            f"mutation {mutation.name!r}: pattern {mutation.old!r} not found — "
+            "the emitter and the catalog have drifted apart"
+        )
+    return source.replace(mutation.old, mutation.new, 1)

@@ -1,0 +1,419 @@
+"""Recursive-descent parser for the emitted synthesizable subset.
+
+Grammar coverage is exactly what :mod:`repro.core.verilog` produces:
+ANSI port lists, ``reg``/``wire``/``integer``/``genvar`` declarations,
+``localparam``, continuous assigns, ``always @(*)`` and
+``always @(posedge clk)`` blocks with if/else chains and procedural
+``for`` loops, module instantiation with named connections, and
+``generate``/``endgenerate`` for-loops.  Unsupported constructs raise
+:class:`ParseError` naming the line, which is what turns an accidental
+emitter regression into a loud failure instead of a silent skip.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cosim import vast as A
+from repro.hw.cosim.lexer import LexError, Token, tokenize
+
+__all__ = ["ParseError", "parse_verilog"]
+
+
+class ParseError(ValueError):
+    """Source uses a construct outside the supported subset."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------ utilities
+    def peek(self, offset: int = 0) -> Token | None:
+        i = self.pos + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def at(self, kind: str, value: object = None) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.kind == kind and (value is None or tok.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            got = f"{tok.kind} {tok.value!r} (line {tok.line})" if tok else "end of input"
+            raise ParseError(f"expected {want!r}, got {got}")
+        return self.next()
+
+    # ---------------------------------------------------------- expressions
+    # Precedence climbing: ternary < || < && < | < ^ < & < == != < relational
+    # < shift < additive < multiplicative < unary < primary.
+    _BINARY_LEVELS = (
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_expr(self) -> object:
+        expr = self._parse_binary(0)
+        if self.accept("punct", "?"):
+            then = self.parse_expr()
+            self.expect("punct", ":")
+            other = self.parse_expr()
+            return A.Ternary(expr, then, other)
+        return expr
+
+    def _parse_binary(self, level: int) -> object:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while True:
+            tok = self.peek()
+            if tok is None or tok.kind != "punct" or tok.value not in ops:
+                return left
+            # `<=` is assignment in statement context; expression context
+            # only reaches here inside parentheses/conditions where the
+            # emitted subset always means less-or-equal.
+            op = self.next().value
+            right = self._parse_binary(level + 1)
+            left = A.Binary(op, left, right)
+
+    def _parse_unary(self) -> object:
+        tok = self.peek()
+        if tok is not None and tok.kind == "punct" and tok.value in ("~", "!", "-", "+"):
+            op = self.next().value
+            operand = self._parse_unary()
+            if op == "+":
+                return operand
+            return A.Unary(op, operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> object:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in expression")
+        if tok.kind == "number":
+            self.next()
+            return A.Num(tok.value, tok.width)
+        if self.accept("punct", "("):
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        if self.accept("punct", "{"):
+            return self._parse_concat()
+        if tok.kind == "ident":
+            name = self.next().value
+            if name.startswith("$"):
+                if name != "$signed":
+                    raise ParseError(f"line {tok.line}: unsupported system call {name}")
+                self.expect("punct", "(")
+                arg = self.parse_expr()
+                self.expect("punct", ")")
+                return A.SysCall(name, arg)
+            return self._parse_select_suffix(A.Id(name))
+        raise ParseError(f"line {tok.line}: unexpected token {tok.value!r} in expression")
+
+    def _parse_select_suffix(self, base: A.Id) -> object:
+        if not self.accept("punct", "["):
+            return base
+        first = self.parse_expr()
+        if self.accept("punct", "+:"):
+            width = self.parse_expr()
+            self.expect("punct", "]")
+            return A.IndexedPart(base, first, width)
+        if self.accept("punct", ":"):
+            lsb = self.parse_expr()
+            self.expect("punct", "]")
+            return A.PartSelect(base, first, lsb)
+        self.expect("punct", "]")
+        return A.BitSelect(base, first)
+
+    def _parse_concat(self) -> object:
+        # Already past '{'.  Distinguish replication `{N{expr}}` from a
+        # plain concatenation by the second '{'.
+        first = self.parse_expr()
+        if self.accept("punct", "{"):
+            value = self.parse_expr()
+            self.expect("punct", "}")
+            self.expect("punct", "}")
+            return A.Repl(first, value)
+        parts = [first]
+        while self.accept("punct", ","):
+            parts.append(self.parse_expr())
+        self.expect("punct", "}")
+        if len(parts) == 1:
+            return parts[0]
+        return A.Concat(tuple(parts))
+
+    # ------------------------------------------------------------- elements
+    def _parse_range(self) -> object:
+        """``[msb:lsb]`` → constant expression for the width (msb-lsb+1)."""
+        self.expect("punct", "[")
+        msb = self.parse_expr()
+        self.expect("punct", ":")
+        lsb = self.parse_expr()
+        self.expect("punct", "]")
+        return A.Binary("+", A.Binary("-", msb, lsb), A.Num(1))
+
+    def _parse_width_opt(self) -> object:
+        if self.at("punct", "["):
+            return self._parse_range()
+        return A.Num(1)
+
+    def parse_module(self) -> A.Module:
+        self.expect("keyword", "module")
+        name = self.expect("ident").value
+        ports: list[A.Port] = []
+        self.expect("punct", "(")
+        if not self.at("punct", ")"):
+            while True:
+                ports.append(self._parse_ansi_port())
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        items: list[object] = []
+        while not self.at("keyword", "endmodule"):
+            items.extend(self._parse_item())
+        self.expect("keyword", "endmodule")
+        return A.Module(name, tuple(ports), tuple(items))
+
+    def _parse_ansi_port(self) -> A.Port:
+        direction = self.next()
+        if direction.kind != "keyword" or direction.value not in ("input", "output"):
+            raise ParseError(f"line {direction.line}: expected port direction")
+        kind = "wire"
+        if self.at("keyword", "wire") or self.at("keyword", "reg"):
+            kind = self.next().value
+        signed = bool(self.accept("keyword", "signed"))
+        width = self._parse_width_opt()
+        name = self.expect("ident").value
+        return A.Port(name, direction.value, kind, width, signed)
+
+    def _parse_item(self) -> list[object]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in module body")
+        if tok.kind == "keyword":
+            handler = {
+                "wire": self._parse_net_decl,
+                "reg": self._parse_net_decl,
+                "integer": self._parse_var_decl,
+                "genvar": self._parse_var_decl,
+                "localparam": self._parse_localparam,
+                "assign": self._parse_cont_assign,
+                "always": self._parse_always,
+                "generate": self._parse_generate,
+            }.get(tok.value)
+            if handler is None:
+                raise ParseError(f"line {tok.line}: unsupported construct {tok.value!r}")
+            return handler()
+        if tok.kind == "ident":
+            return [self._parse_instance()]
+        raise ParseError(f"line {tok.line}: unexpected token {tok.value!r} in module body")
+
+    def _parse_net_decl(self) -> list[object]:
+        kind = self.next().value  # 'wire' | 'reg'
+        signed = bool(self.accept("keyword", "signed"))
+        width = self._parse_width_opt()
+        decls: list[object] = []
+        while True:
+            name = self.expect("ident").value
+            init = None
+            if self.accept("punct", "="):
+                init = self.parse_expr()
+            decls.append(A.NetDecl(name, kind, width, signed, init))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        return decls
+
+    def _parse_var_decl(self) -> list[object]:
+        kind = self.next().value  # 'integer' | 'genvar'
+        decls: list[object] = []
+        while True:
+            decls.append(A.VarDecl(self.expect("ident").value, kind))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        return decls
+
+    def _parse_localparam(self) -> list[object]:
+        self.next()
+        signed = bool(self.accept("keyword", "signed"))
+        width = self._parse_width_opt() if self.at("punct", "[") else None
+        decls: list[object] = []
+        while True:
+            name = self.expect("ident").value
+            self.expect("punct", "=")
+            decls.append(A.Localparam(name, width, signed, self.parse_expr()))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        return decls
+
+    def _parse_cont_assign(self) -> list[object]:
+        self.next()
+        assigns: list[object] = []
+        while True:
+            lhs = self._parse_lvalue()
+            self.expect("punct", "=")
+            assigns.append(A.ContAssign(lhs, self.parse_expr()))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        return assigns
+
+    def _parse_lvalue(self) -> object:
+        name = self.expect("ident").value
+        return self._parse_select_suffix(A.Id(name))
+
+    def _parse_always(self) -> list[object]:
+        self.next()
+        self.expect("punct", "@")
+        self.expect("punct", "(")
+        if self.accept("punct", "*"):
+            self.expect("punct", ")")
+            return [A.AlwaysComb(tuple(self._parse_stmt()))]
+        self.expect("keyword", "posedge")
+        clock = self.expect("ident").value
+        self.expect("punct", ")")
+        return [A.AlwaysFF(clock, tuple(self._parse_stmt()))]
+
+    def _parse_stmt(self) -> list[object]:
+        """One statement; ``begin … end`` flattens to its statement list."""
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in statement")
+        if self.accept("keyword", "begin"):
+            if self.accept("punct", ":"):
+                self.expect("ident")  # named blocks: the label is ignored
+            stmts: list[object] = []
+            while not self.at("keyword", "end"):
+                stmts.extend(self._parse_stmt())
+            self.expect("keyword", "end")
+            return stmts
+        if self.at("keyword", "if"):
+            return [self._parse_if()]
+        if self.at("keyword", "for"):
+            return [self._parse_for()]
+        if tok.kind == "ident":
+            lhs = self._parse_lvalue()
+            if self.accept("punct", "<="):
+                rhs = self.parse_expr()
+                self.expect("punct", ";")
+                return [A.NonBlocking(lhs, rhs)]
+            self.expect("punct", "=")
+            rhs = self.parse_expr()
+            self.expect("punct", ";")
+            return [A.Blocking(lhs, rhs)]
+        raise ParseError(f"line {tok.line}: unsupported statement starting at {tok.value!r}")
+
+    def _parse_if(self) -> A.If:
+        self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then = tuple(self._parse_stmt())
+        other: tuple = ()
+        if self.accept("keyword", "else"):
+            other = tuple(self._parse_stmt())
+        return A.If(cond, then, other)
+
+    def _parse_for_header(self) -> tuple[str, object, object, object]:
+        self.expect("keyword", "for")
+        self.expect("punct", "(")
+        var = self.expect("ident").value
+        self.expect("punct", "=")
+        init = self.parse_expr()
+        self.expect("punct", ";")
+        cond = self.parse_expr()
+        self.expect("punct", ";")
+        step_var = self.expect("ident").value
+        if step_var != var:
+            raise ParseError(f"for-loop step must update {var!r}, got {step_var!r}")
+        self.expect("punct", "=")
+        step = self.parse_expr()
+        self.expect("punct", ")")
+        return var, init, cond, step
+
+    def _parse_for(self) -> A.For:
+        var, init, cond, step = self._parse_for_header()
+        return A.For(var, init, cond, step, tuple(self._parse_stmt()))
+
+    def _parse_generate(self) -> list[object]:
+        self.next()
+        items: list[object] = []
+        while not self.at("keyword", "endgenerate"):
+            if self.at("keyword", "for"):
+                var, init, cond, step = self._parse_for_header()
+                self.expect("keyword", "begin")
+                self.expect("punct", ":")
+                label = self.expect("ident").value
+                body: list[object] = []
+                while not self.at("keyword", "end"):
+                    body.extend(self._parse_item())
+                self.expect("keyword", "end")
+                items.append(A.GenerateFor(var, init, cond, step, label, tuple(body)))
+            else:
+                items.extend(self._parse_item())
+        self.expect("keyword", "endgenerate")
+        return items
+
+    def _parse_instance(self) -> A.Instance:
+        module = self.expect("ident").value
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        conns: list[tuple[str, object]] = []
+        if not self.at("punct", ")"):
+            while True:
+                self.expect("punct", ".")
+                port = self.expect("ident").value
+                self.expect("punct", "(")
+                expr = None if self.at("punct", ")") else self.parse_expr()
+                self.expect("punct", ")")
+                conns.append((port, expr))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return A.Instance(module, name, tuple(conns))
+
+
+def parse_verilog(source: str) -> dict[str, A.Module]:
+    """Parse every module in ``source``; returns ``{name: Module}``.
+
+    Raises :class:`ParseError` (or :class:`~repro.hw.cosim.lexer.LexError`)
+    when the text leaves the supported subset.
+    """
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    parser = _Parser(tokens)
+    modules: dict[str, A.Module] = {}
+    while parser.peek() is not None:
+        mod = parser.parse_module()
+        if mod.name in modules:
+            raise ParseError(f"duplicate module {mod.name!r}")
+        modules[mod.name] = mod
+    return modules

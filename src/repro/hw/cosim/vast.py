@@ -1,0 +1,210 @@
+"""AST node types for the supported Verilog subset.
+
+Plain frozen dataclasses: the parser builds them, the elaborator in
+:mod:`repro.hw.cosim.interp` resolves identifiers and compiles them to
+closures.  ``v`` prefix avoids shadowing :mod:`ast` from the stdlib.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Num",
+    "Id",
+    "BitSelect",
+    "PartSelect",
+    "IndexedPart",
+    "Concat",
+    "Repl",
+    "Unary",
+    "Binary",
+    "Ternary",
+    "SysCall",
+    "Blocking",
+    "NonBlocking",
+    "If",
+    "For",
+    "Port",
+    "NetDecl",
+    "VarDecl",
+    "Localparam",
+    "ContAssign",
+    "AlwaysComb",
+    "AlwaysFF",
+    "Instance",
+    "GenerateFor",
+    "Module",
+]
+
+
+# --------------------------------------------------------------- expressions
+@dataclass(frozen=True)
+class Num:
+    value: int
+    width: int | None = None  # None: unsized decimal (context-determined)
+
+
+@dataclass(frozen=True)
+class Id:
+    name: str
+
+
+@dataclass(frozen=True)
+class BitSelect:
+    base: Id
+    index: object  # expression
+
+
+@dataclass(frozen=True)
+class PartSelect:
+    base: Id
+    msb: object  # constant expression
+    lsb: object  # constant expression
+
+
+@dataclass(frozen=True)
+class IndexedPart:
+    base: Id
+    start: object  # expression
+    width: object  # constant expression
+
+
+@dataclass(frozen=True)
+class Concat:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Repl:
+    count: object  # constant expression
+    value: object
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '~' '!' '-'
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Ternary:
+    cond: object
+    then: object
+    other: object
+
+
+@dataclass(frozen=True)
+class SysCall:
+    name: str  # only '$signed' is interpreted (as a pattern no-op)
+    arg: object
+
+
+# ---------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Blocking:
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class NonBlocking:
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class If:
+    cond: object
+    then: tuple
+    other: tuple  # empty tuple when there is no else arm
+
+
+@dataclass(frozen=True)
+class For:
+    var: str
+    init: object
+    cond: object
+    step: object  # expression assigned back to var each iteration
+    body: tuple
+
+
+# -------------------------------------------------------------- module items
+@dataclass(frozen=True)
+class Port:
+    name: str
+    direction: str  # 'input' | 'output'
+    kind: str  # 'wire' | 'reg'
+    width: object  # constant expression for the bit count
+    signed: bool
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    name: str
+    kind: str  # 'wire' | 'reg'
+    width: object
+    signed: bool
+    init: object | None = None  # `wire name = expr;`
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    kind: str  # 'integer' | 'genvar'
+
+
+@dataclass(frozen=True)
+class Localparam:
+    name: str
+    width: object | None
+    signed: bool
+    value: object
+
+
+@dataclass(frozen=True)
+class ContAssign:
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class AlwaysComb:
+    body: tuple
+
+
+@dataclass(frozen=True)
+class AlwaysFF:
+    clock: str
+    body: tuple
+
+
+@dataclass(frozen=True)
+class Instance:
+    module: str
+    name: str
+    conns: tuple  # ((port_name, expr | None), ...)
+
+
+@dataclass(frozen=True)
+class GenerateFor:
+    var: str
+    init: object
+    cond: object
+    step: object
+    label: str
+    body: tuple  # module items (instances, nested decls)
+
+
+@dataclass(frozen=True)
+class Module:
+    name: str
+    ports: tuple = ()
+    items: tuple = field(default_factory=tuple)

@@ -6,8 +6,12 @@ import pytest
 
 from repro.core.signed import bisc_multiply_signed
 from repro.core.verilog import (
+    _clog2,
+    bisc_mvm_module,
     bisc_mvm_verilog,
+    fsm_mux_module,
     fsm_mux_verilog,
+    sc_mac_module,
     sc_mac_testbench,
     sc_mac_verilog,
     write_rtl_project,
@@ -68,6 +72,76 @@ class TestTestbench:
     def test_deterministic(self):
         assert sc_mac_testbench(6, seed=1) == sc_mac_testbench(6, seed=1)
         assert sc_mac_testbench(6, seed=1) != sc_mac_testbench(6, seed=2)
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_golden_vectors_execute_through_the_interpreter(self, n):
+        """Run the check() table through the interpreted DUT, not just regex.
+
+        Before the co-simulation harness existed the vectors were only
+        emitted ("check them when a simulator is available"); now every
+        one is driven through ``sc_mac_N`` with the testbench's own
+        reset/load/busy-wait protocol.
+        """
+        from repro.hw.cosim import extract_testbench_vectors, run_testbench_vectors
+
+        text = sc_mac_testbench(n, 2, vectors=12, seed=3)
+        assert len(extract_testbench_vectors(text)) == 12
+        failures = run_testbench_vectors(text, n, acc_bits=2)
+        assert failures == [], "\n".join(str(f) for f in failures)
+
+    def test_vector_extraction_rejects_empty(self):
+        from repro.hw.cosim import extract_testbench_vectors
+
+        with pytest.raises(ValueError, match="no check"):
+            extract_testbench_vectors("module tb; endmodule")
+
+
+class TestClog2:
+    def test_exact_against_bit_length(self):
+        for v in range(1, 1 << 12):
+            assert _clog2(v) == max(1, (v - 1).bit_length())
+
+    @pytest.mark.parametrize(
+        "value,bits", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (256, 8)]
+    )
+    def test_known_widths(self, value, bits):
+        assert _clog2(value) == bits
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 9])
+    def test_sel_register_holds_every_select(self, n):
+        """The fsm_mux select register must encode 0 .. n-1."""
+        width = _clog2(n)
+        assert (1 << width) - 1 >= n - 1
+        text = fsm_mux_verilog(n)
+        assert f"reg  [{width - 1}:0] sel;" in text
+
+
+class TestModuleMetadata:
+    def test_fsm_mux_module(self):
+        mod = fsm_mux_module(5)
+        assert mod.name == "fsm_mux_5"
+        assert mod.state_elements == ("count",)
+        assert mod.submodules == ()
+        port_names = [p.name for p in mod.ports]
+        assert port_names == ["clk", "rst", "data_in", "bit_out"]
+        assert mod.source == mod.text
+
+    def test_sc_mac_module_carries_fsm_dep(self):
+        mod = sc_mac_module(5, acc_bits=3)
+        assert mod.submodules == (("u_fsm", "fsm_mux_5"),)
+        assert "acc" in mod.state_elements
+        acc_port = next(p for p in mod.ports if p.name == "acc")
+        assert acc_port.width == 8 and acc_port.signed
+        # source concatenates the dep exactly once
+        assert mod.source.count("module fsm_mux_5") == 1
+        assert "module sc_mac_5" in mod.source
+
+    def test_mvm_module_lists_one_mux_per_lane(self):
+        mod = bisc_mvm_module(4, 3)
+        assert mod.submodules == tuple(
+            (f"lanes[{g}].u_mux", "fsm_mux_4") for g in range(3)
+        )
+        assert mod.source.count("module fsm_mux_4") == 1  # dep dedup
 
 
 class TestProject:

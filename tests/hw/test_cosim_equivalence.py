@@ -1,0 +1,130 @@
+"""Lockstep equivalence of the emitted RTL against the golden models.
+
+The tier-1 portion keeps runtimes small (N∈{2,3,4}, a few hundred
+cycles); the full acceptance sweep — every design at N∈{3,4,8} over
+4096 cycles — is ``slow`` and rides the nightly job.  Hypothesis draws
+operand pairs (including the saturation boundaries) and replays them
+through both the interpreted ``sc_mac`` and :class:`ScMacRtl`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rtl import ScMacRtl
+from repro.core.verilog import sc_mac_module
+from repro.hw.cosim import (
+    elaborate,
+    verify_all,
+    verify_bisc_mvm,
+    verify_design,
+    verify_fsm_mux,
+    verify_sc_mac,
+)
+
+
+class TestFsmMux:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exhaustive_small_n(self, n):
+        """Cover every counter state many times over — locks down _clog2.
+
+        At these widths ``cycles`` exceeds ``2**n`` several-fold, so the
+        select register (whose width _clog2 sizes) exercises every
+        reachable value with resets landing in between.
+        """
+        diff = verify_fsm_mux(n, cycles=max(256, 8 << n), seed=7)
+        assert diff.ok, "\n" + diff.format()
+
+    def test_seeded_run_is_deterministic(self):
+        a = verify_fsm_mux(3, cycles=200, seed=11)
+        b = verify_fsm_mux(3, cycles=200, seed=11)
+        assert a.ok and b.ok and a.cycles_run == b.cycles_run
+
+
+class TestLockstepTier1:
+    @pytest.mark.parametrize("n", [3, 4])
+    @pytest.mark.parametrize("design", ["fsm_mux", "sc_mac", "bisc_mvm"])
+    def test_design_parity(self, design, n):
+        diff = verify_design(design, n, cycles=600, seed=2017)
+        assert diff.ok, "\n" + diff.format()
+
+    def test_stimulus_covers_resets_and_boundaries(self):
+        """The stimulus generators must produce resets and rail operands.
+
+        The mutation suite depends on this (a dropped reset is only
+        observable if a reset lands mid-run), so guard the generators
+        directly rather than trusting the seed silently.
+        """
+        from repro.hw.cosim.equiv import _mac_prologue, _mac_random_op
+
+        prologue = _mac_prologue(4)
+        assert ("reset",) in prologue
+        assert ("load", 7, 7) in prologue  # drives acc into ACC_MAX
+        rng = np.random.default_rng(0)
+        kinds = {_mac_random_op(rng, 4)[0] for _ in range(500)}
+        assert kinds == {"reset", "idle", "load"}
+
+    def test_saturating_boundary_with_tiny_headroom(self):
+        """acc_bits=1 leaves one guard bit: saturation trips constantly."""
+        diff = verify_sc_mac(3, cycles=600, seed=5, acc_bits=1)
+        assert diff.ok, "\n" + diff.format()
+
+    @pytest.mark.parametrize("lanes", [1, 2, 4])
+    def test_mvm_lane_counts(self, lanes):
+        diff = verify_bisc_mvm(3, lanes=lanes, cycles=400, seed=9)
+        assert diff.ok, "\n" + diff.format()
+
+
+class TestHypothesisDifferential:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.one_of(st.sampled_from([-8, -1, 0, 7]), st.integers(-8, 7)),
+                st.one_of(st.sampled_from([-8, -1, 0, 7]), st.integers(-8, 7)),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_sc_mac_operand_sequences(self, ops):
+        """Any operand sequence (boundaries over-weighted) stays bit-exact."""
+        n = 4
+        mod = sc_mac_module(n)
+        sim = elaborate(mod.source, mod.name)
+        model = ScMacRtl(n)
+        sim.poke("rst", 1)
+        sim.poke("load", 0)
+        sim.step()
+        sim.poke("rst", 0)
+        model.reset()
+        mask = (1 << n) - 1
+        for w, x in ops:
+            sim.poke("load", 1)
+            sim.poke("w_in", w & mask)
+            sim.poke("x_in", x & mask)
+            sim.step()
+            sim.poke("load", 0)
+            model.load(w, x)
+            for _ in range(1 << n):
+                if not model.busy:
+                    break
+                sim.step()
+                model.clock()
+            snap = model.snapshot()
+            assert sim.peek_signed("acc") == snap["acc"]
+            assert sim.peek("busy") == snap["busy"]
+        assert sim.peek_signed("acc") == model.accumulator
+
+
+@pytest.mark.slow
+class TestAcceptanceSweep:
+    """The issue's acceptance bar: N∈{3,4,8}, ≥2^12 cycles, bit-exact."""
+
+    def test_full_sweep(self):
+        diffs = verify_all(n_bits_list=(3, 4, 8), cycles=4096, seed=2017)
+        failures = [d.format() for d in diffs if not d.ok]
+        assert not failures, "\n\n".join(failures)
+        assert len(diffs) == 9
+        assert all(d.cycles_run >= 4096 for d in diffs)

@@ -35,6 +35,29 @@ class TestCommands:
         assert main(["rtl", "--out", str(tmp_path), "--n-bits", "6", "--lanes", "4"]) == 0
         assert (tmp_path / "sc_mac_6.v").exists()
 
+    def test_rtl_emit_subcommand(self, tmp_path, capsys):
+        assert main(["rtl", "emit", "--out", str(tmp_path), "--n-bits", "5"]) == 0
+        assert (tmp_path / "sc_mac_5.v").exists()
+
+    def test_rtl_verify(self, capsys):
+        assert main(["rtl", "verify", "--n-bits", "3", "--cycles", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "fsm_mux_3: PASS" in out
+        assert "sc_mac_3: PASS" in out
+        assert "bisc_mvm_3x4: PASS" in out
+        assert "all 3 design runs bit-exact" in out
+
+    def test_rtl_verify_single_design(self, capsys):
+        assert main(
+            ["rtl", "verify", "--n-bits", "4", "--cycles", "200", "--design", "sc_mac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sc_mac_4: PASS" in out and "fsm_mux" not in out
+
+    def test_rtl_verify_bad_n_bits_list(self, capsys):
+        assert main(["rtl", "verify", "--n-bits", "3,oops"]) == 2
+        assert "invalid --n-bits" in capsys.readouterr().err
+
     def test_experiment_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0
         assert "MATCH" in capsys.readouterr().out
