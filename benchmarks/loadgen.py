@@ -13,11 +13,16 @@ against any benchmark/model the server was started with.
 Usage (against a running server)::
 
     PYTHONPATH=src python benchmarks/loadgen.py --port 8080 \
-        --rps 50 --duration 3 --images-per-request 2 [--expect-all-2xx]
+        --rps 50 --duration 3 --images-per-request 2 \
+        [--keep-alive] [--content-type raw] [--expect-all-2xx]
 
+``--keep-alive`` reuses a bounded pool of persistent connections
+instead of one ``Connection: close`` socket per request;
+``--content-type raw`` sends the zero-copy raw-float body (RPF8 magic
++ u32-LE count + little-endian float64 pixels) instead of JSON.
 ``--expect-all-2xx`` makes the exit code assert that nothing was
 rejected (CI smoke).  The module is also imported by ``snapshot.py
---suite pr4``: :func:`run_load` is the reusable core.
+--suite pr4``/``pr8``: :func:`run_load` is the reusable core.
 """
 
 from __future__ import annotations
@@ -26,13 +31,27 @@ import argparse
 import asyncio
 import json
 import random
+import struct
 import sys
 import time
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["LoadReport", "http_request", "run_load", "main"]
+__all__ = [
+    "LoadReport",
+    "ConnectionPool",
+    "http_request",
+    "make_payload",
+    "make_raw_payload",
+    "run_load",
+    "main",
+]
 
 _CLIENT_TIMEOUT_S = 30.0
+
+#: Mirrors ``repro.serve.http.RAW_CONTENT_TYPE``/``RAW_MAGIC`` — kept
+#: literal here so the load generator stays stdlib-only.
+RAW_CONTENT_TYPE = "application/x-repro-float64"
+RAW_MAGIC = b"RPF8"
 
 
 @dataclass
@@ -55,6 +74,18 @@ class LoadReport:
     latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
     latency_mean_ms: float = 0.0
+    #: wire format of the request body ("json" or "raw")
+    content_type: str = "json"
+    #: whether persistent connections were used
+    keep_alive: bool = False
+    #: client-side connection accounting (reuses only grow with keep-alive)
+    connections_opened: int = 0
+    connections_reused: int = 0
+    #: engine replicas behind the server's pool (0 = not reported)
+    replicas: int = 0
+    #: absolute per-replica dispatch counters scraped from /healthz
+    #: after the run, e.g. {"r0": 131, "r1": 129}
+    replica_dispatch: dict = field(default_factory=dict)
 
     @property
     def all_2xx(self) -> bool:
@@ -76,6 +107,60 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank]
 
 
+async def _exchange(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None,
+    timeout: float,
+    headers: dict | None = None,
+    keep_alive: bool = False,
+) -> tuple[int, bytes, bool]:
+    """One request/response on an open connection.
+
+    Returns ``(status, payload, reusable)`` where ``reusable`` is True
+    only when the server agreed to keep the connection alive.
+    """
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+    )
+    extra = dict(headers or {})
+    if body is not None:
+        extra.setdefault("Content-Type", "application/json")
+        extra["Content-Length"] = str(len(body))
+    for name, value in extra.items():
+        head += f"{name}: {value}\r\n"
+    writer.write(head.encode("ascii") + b"\r\n" + (body or b""))
+    await asyncio.wait_for(writer.drain(), timeout)
+    status_line = await asyncio.wait_for(reader.readline(), timeout)
+    if not status_line:
+        raise ConnectionError("server closed the connection before responding")
+    status = int(status_line.split()[1])
+    length = None
+    reusable = keep_alive
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        lname = name.strip().lower()
+        if lname == b"content-length":
+            length = int(value.strip())
+        elif lname == b"connection":
+            reusable = reusable and value.strip().lower() == b"keep-alive"
+    if length is not None:
+        payload = await asyncio.wait_for(reader.readexactly(length), timeout)
+    else:
+        payload = await asyncio.wait_for(reader.read(), timeout)
+        reusable = False
+    return status, payload, reusable
+
+
 async def http_request(
     host: str,
     port: int,
@@ -83,35 +168,16 @@ async def http_request(
     path: str,
     body: bytes | None = None,
     timeout: float = _CLIENT_TIMEOUT_S,
+    headers: dict | None = None,
 ) -> tuple[int, bytes]:
     """One ``Connection: close`` HTTP/1.1 exchange; returns (status, body)."""
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout
     )
     try:
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {host}:{port}\r\n"
-            "Connection: close\r\n"
+        status, payload, _ = await _exchange(
+            reader, writer, host, port, method, path, body, timeout, headers
         )
-        if body is not None:
-            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
-        writer.write(head.encode("ascii") + b"\r\n" + (body or b""))
-        await asyncio.wait_for(writer.drain(), timeout)
-        status_line = await asyncio.wait_for(reader.readline(), timeout)
-        status = int(status_line.split()[1])
-        length = None
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.partition(b":")
-            if name.strip().lower() == b"content-length":
-                length = int(value.strip())
-        if length is not None:
-            payload = await asyncio.wait_for(reader.readexactly(length), timeout)
-        else:
-            payload = await asyncio.wait_for(reader.read(), timeout)
         return status, payload
     finally:
         writer.close()
@@ -119,6 +185,64 @@ async def http_request(
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+class ConnectionPool:
+    """Bounded pool of persistent keep-alive client connections.
+
+    ``request`` checks a free connection out (opening one when none is
+    idle), runs the exchange, and checks it back in unless the server
+    asked to close.  A connection that errors mid-exchange is discarded
+    so the failure cannot poison later requests.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = _CLIENT_TIMEOUT_S) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.opened = 0
+        self.reused = 0
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, bytes]:
+        if self._free:
+            reader, writer = self._free.pop()
+            self.reused += 1
+        else:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+            self.opened += 1
+        try:
+            status, payload, reusable = await _exchange(
+                reader, writer, self.host, self.port, method, path, body,
+                self.timeout, headers, keep_alive=True,
+            )
+        except BaseException:
+            self._discard(writer)
+            raise
+        if reusable:
+            self._free.append((reader, writer))
+        else:
+            self._discard(writer)
+        return status, payload
+
+    def _discard(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    async def close(self) -> None:
+        while self._free:
+            _, writer = self._free.pop()
+            self._discard(writer)
 
 
 async def discover_input_shape(host: str, port: int) -> tuple[int, ...]:
@@ -152,6 +276,30 @@ def make_payload(
     return json.dumps({"images": images, "return": ret}).encode("ascii")
 
 
+def make_raw_payload(
+    shape: tuple[int, ...], images_per_request: int, seed: int
+) -> bytes:
+    """The same pixel values as :func:`make_payload`, raw-float encoded.
+
+    Byte-for-byte the values the JSON path yields after parsing (both
+    are the float64 of ``round(rng.random(), 4)``), so raw and JSON
+    runs are comparable — and bit-exact against the same serial
+    reference.
+    """
+    rng = random.Random(seed)
+    n_pix = 1
+    for d in shape:
+        n_pix *= d
+    flat = [
+        round(rng.random(), 4) for _ in range(n_pix * images_per_request)
+    ]
+    return (
+        RAW_MAGIC
+        + struct.pack("<I", images_per_request)
+        + struct.pack(f"<{len(flat)}d", *flat)
+    )
+
+
 async def run_load(
     host: str,
     port: int,
@@ -163,18 +311,33 @@ async def run_load(
     ret: str = "classes",
     payload: bytes | None = None,
     timeout: float = _CLIENT_TIMEOUT_S,
+    keep_alive: bool = False,
+    content_type: str = "json",
 ) -> LoadReport:
     """Open-loop run: ``rps * duration_s`` requests on a fixed schedule.
 
     ``concurrency`` only bounds simultaneous sockets (a safety valve
     against fd exhaustion); arrival times stay open-loop, so time spent
     waiting for a slot is counted in that request's latency.
+
+    ``keep_alive`` reuses a persistent-connection pool (at most
+    ``concurrency`` sockets); ``content_type="raw"`` sends the
+    zero-copy raw-float body instead of JSON.
     """
+    if content_type not in ("json", "raw"):
+        raise ValueError(f"content_type must be 'json' or 'raw', not {content_type!r}")
+    headers = None
     if payload is None:
         shape = await discover_input_shape(host, port)
-        payload = make_payload(shape, images_per_request, seed, ret)
+        if content_type == "raw":
+            payload = make_raw_payload(shape, images_per_request, seed)
+        else:
+            payload = make_payload(shape, images_per_request, seed, ret)
+    if content_type == "raw":
+        headers = {"Content-Type": RAW_CONTENT_TYPE, "x-return": ret}
     total = max(1, int(round(rps * duration_s)))
     sem = asyncio.Semaphore(concurrency)
+    pool = ConnectionPool(host, port, timeout) if keep_alive else None
     loop = asyncio.get_running_loop()
     t0 = loop.time()
     latencies: list[float] = []
@@ -190,9 +353,14 @@ async def run_load(
         start = loop.time()
         async with sem:
             try:
-                status, _ = await http_request(
-                    host, port, "POST", "/v1/predict", payload, timeout
-                )
+                if pool is not None:
+                    status, _ = await pool.request(
+                        "POST", "/v1/predict", payload, headers
+                    )
+                else:
+                    status, _ = await http_request(
+                        host, port, "POST", "/v1/predict", payload, timeout, headers
+                    )
             except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
                 errors += 1
                 return
@@ -202,6 +370,18 @@ async def run_load(
 
     await asyncio.gather(*(one(i) for i in range(total)))
     elapsed = max(loop.time() - t0, 1e-9)
+    if pool is not None:
+        await pool.close()
+    replicas, replica_dispatch = 0, {}
+    try:
+        _, health = await http_request(host, port, "GET", "/healthz", timeout=timeout)
+        info = json.loads(health)
+        replicas = int(info.get("replicas", 0))
+        replica_dispatch = {
+            r["replica"]: int(r["dispatches"]) for r in info.get("pool", ())
+        }
+    except (OSError, asyncio.TimeoutError, ValueError, KeyError):
+        pass  # older server / not ready: leave the fields at defaults
     latencies.sort()
     completed = len(latencies)
     return LoadReport(
@@ -219,6 +399,12 @@ async def run_load(
         latency_p95_ms=round(percentile(latencies, 0.95) * 1e3, 2),
         latency_p99_ms=round(percentile(latencies, 0.99) * 1e3, 2),
         latency_mean_ms=round(sum(latencies) / completed * 1e3, 2) if completed else 0.0,
+        content_type=content_type,
+        keep_alive=keep_alive,
+        connections_opened=pool.opened if pool is not None else completed + errors,
+        connections_reused=pool.reused if pool is not None else 0,
+        replicas=replicas,
+        replica_dispatch=replica_dispatch,
     )
 
 
@@ -233,6 +419,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="max simultaneous sockets (open-loop arrivals regardless)")
     parser.add_argument("--return", dest="ret", choices=("classes", "logits", "both"),
                         default="classes")
+    parser.add_argument("--keep-alive", action="store_true",
+                        help="reuse persistent connections instead of one per request")
+    parser.add_argument("--content-type", choices=("json", "raw"), default="json",
+                        help="request body wire format (raw = zero-copy float64)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout", type=float, default=_CLIENT_TIMEOUT_S)
     parser.add_argument("--json-out", default=None, help="write the report here as JSON")
@@ -252,6 +442,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             ret=args.ret,
             timeout=args.timeout,
+            keep_alive=args.keep_alive,
+            content_type=args.content_type,
         )
     )
     print(
@@ -259,6 +451,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{report.completed}/{report.sent} completed ({report.errors} errors), "
         f"{report.achieved_rps:g} rps achieved, statuses {report.status_counts}"
     )
+    if report.keep_alive:
+        print(
+            f"connections: {report.connections_opened} opened, "
+            f"{report.connections_reused} reused"
+        )
+    if report.replicas:
+        print(f"replicas {report.replicas}: dispatches {report.replica_dispatch}")
     print(
         f"latency ms: p50 {report.latency_p50_ms:g}  p95 {report.latency_p95_ms:g}  "
         f"p99 {report.latency_p99_ms:g}  mean {report.latency_mean_ms:g}  "

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
     p_srv.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
     p_srv.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="engine replicas behind least-loaded dispatch, each with its "
+        "own worker pool and circuit breaker",
+    )
+    p_srv.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -314,6 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServerConfig(
         host=args.host,
         port=args.port,
+        replicas=args.replicas,
         workers=args.workers,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,

@@ -519,14 +519,25 @@ class BatchInferenceEngine:
     engine dispatch.  The serving layer registers its metrics adapter
     here; the engine itself stays importable without :mod:`repro.serve`
     (hooks are plain callables, no serve types involved).
+
+    ``name`` identifies one engine among replicas (the serving pool
+    names them ``r0``, ``r1``, ...).  A named engine scopes its
+    ``engine.dispatch`` fault-site keys to ``"<key>@<name>"`` so a
+    chaos schedule can kill exactly one replica; unnamed engines keep
+    the bare ``"grouped"``/``"logits"`` keys.
     """
 
     def __init__(
-        self, net, config: ParallelConfig | int | None = None, hooks=()
+        self, net, config: ParallelConfig | int | None = None, hooks=(),
+        name: str | None = None,
     ) -> None:
         self.net = net
         self.config = resolve_parallelism(config)
         self.hooks = list(hooks)
+        self.name = name
+
+    def _dispatch_key(self, kind: str) -> str:
+        return f"{kind}@{self.name}" if self.name else kind
 
     def add_hook(self, hook) -> None:
         """Register a ``hook(n_images, seconds, workers)`` observer."""
@@ -538,7 +549,7 @@ class BatchInferenceEngine:
 
     def logits(self, x: np.ndarray) -> np.ndarray:
         if _faults.enabled():
-            _faults.fire("engine.dispatch", key="logits")
+            _faults.fire("engine.dispatch", key=self._dispatch_key("logits"))
         t0 = time.perf_counter()
         out = predict_logits(self.net, x, self.config)
         self._notify(int(np.asarray(x).shape[0]), time.perf_counter() - t0)
@@ -547,7 +558,7 @@ class BatchInferenceEngine:
     def logits_grouped(self, xs) -> list[np.ndarray]:
         """Per-request logits for a coalesced group (micro-batching)."""
         if _faults.enabled():
-            _faults.fire("engine.dispatch", key="grouped")
+            _faults.fire("engine.dispatch", key=self._dispatch_key("grouped"))
         t0 = time.perf_counter()
         out = predict_logits_grouped(self.net, xs, self.config)
         n = sum(int(np.asarray(x).shape[0]) for x in xs)

@@ -6,6 +6,8 @@ The serving plane in four layers, composed by :class:`ServingServer`:
   Prometheus ``/metrics`` exposition;
 * :mod:`repro.serve.batcher` — dynamic micro-batching of in-flight
   requests into bit-exact grouped engine dispatches;
+* :mod:`repro.serve.pool` — N engine replicas behind least-loaded
+  dispatch with per-replica circuit breakers and failover;
 * :mod:`repro.serve.service` — bounded admission with backpressure,
   per-request deadlines, and graceful drain;
 * :mod:`repro.serve.http` — the stdlib asyncio HTTP/1.1 front end
@@ -17,19 +19,23 @@ Start one from the CLI with ``repro serve``; see ``docs/serving.md``.
 from repro.serve.batcher import MicroBatcher
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.http import (
+    RAW_CONTENT_TYPE,
     ServerConfig,
     ServingServer,
     build_engine,
     get_active_server,
+    pack_raw_request,
     run_server,
 )
 from repro.serve.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledGauge,
     MetricsRegistry,
     ServiceMetrics,
 )
+from repro.serve.pool import EnginePool, EngineReplica, PoolCircuit
 from repro.serve.service import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -46,8 +52,14 @@ __all__ = [
     "build_engine",
     "get_active_server",
     "run_server",
+    "RAW_CONTENT_TYPE",
+    "pack_raw_request",
+    "EnginePool",
+    "EngineReplica",
+    "PoolCircuit",
     "Counter",
     "Gauge",
+    "LabeledGauge",
     "Histogram",
     "MetricsRegistry",
     "ServiceMetrics",

@@ -23,8 +23,12 @@ Invariants (pinned by the hypothesis suite in
   (engine execution time comes on top — admission control and
   deadlines live one layer up, in :mod:`repro.serve.service`).
 
-Batches execute on a single-thread executor so the event loop stays
-responsive while the engine runs, and so groups retain FIFO order.
+Batches execute on a bounded executor (``concurrency`` threads, one per
+engine replica) so the event loop stays responsive while engines run.
+Dispatch *start* order stays FIFO at any concurrency: a group is only
+handed to the executor once a dispatch slot is acquired, in formation
+order.  With ``concurrency=1`` (the default) execution is fully
+serialized — the original single-engine behavior.
 """
 
 from __future__ import annotations
@@ -60,7 +64,10 @@ class MicroBatcher:
 
     ``runner`` is a synchronous callable ``runner(list_of_arrays) ->
     list_of_results`` executed off-loop.  ``max_batch_size`` bounds the
-    images per group, ``max_wait_ms`` the coalescing delay.
+    images per group, ``max_wait_ms`` the coalescing delay, and
+    ``concurrency`` the groups in flight at once (the replica-pool
+    runner is thread-safe; one slot per replica keeps every replica
+    fed without over-dispatching).
     """
 
     def __init__(
@@ -69,20 +76,26 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_wait_ms: float = 5.0,
         metrics: ServiceMetrics | None = None,
+        concurrency: int = 1,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
         self.runner = runner
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.concurrency = concurrency
         self.metrics = metrics or ServiceMetrics()
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._holdover: _Request | None = None
         self._draining = False
+        self._slots: asyncio.Semaphore | None = None
+        self._dispatches: set[asyncio.Task] = set()
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -100,8 +113,10 @@ class MicroBatcher:
             raise RuntimeError("batcher already running")
         self._queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-batch"
+            max_workers=self.concurrency, thread_name_prefix="repro-batch"
         )
+        self._slots = asyncio.Semaphore(self.concurrency)
+        self._dispatches = set()
         self._draining = False
         self._task = asyncio.create_task(self._run(), name="repro-microbatcher")
 
@@ -170,7 +185,7 @@ class MicroBatcher:
                 total += item.n_images
                 if total >= self.max_batch_size:
                     reason = "full"
-            await self._execute(group, total, reason, loop)
+            await self._dispatch(group, total, reason, loop)
         # Drain mode: flush whatever is still queued (including a
         # holdover) in max_batch_size groups, then exit.
         while self.depth:
@@ -186,7 +201,22 @@ class MicroBatcher:
                 group.append(item)
                 total += item.n_images
             if group:
-                await self._execute(group, total, "drain", loop)
+                await self._dispatch(group, total, "drain", loop)
+        if self._dispatches:
+            await asyncio.gather(*list(self._dispatches))
+
+    async def _dispatch(self, group, total: int, reason: str | None, loop) -> None:
+        """Claim a dispatch slot, then run the group concurrently.
+
+        Blocks while all ``concurrency`` slots are busy, which is what
+        keeps group formation paced to engine capacity; the group
+        itself executes in a background task so the loop can coalesce
+        the next group while engines run.
+        """
+        await self._slots.acquire()
+        task = loop.create_task(self._execute(group, total, reason, loop))
+        self._dispatches.add(task)
+        task.add_done_callback(self._dispatches.discard)
 
     async def _next_request(self) -> _Request | None:
         """The first request of the next group (or None once drained)."""
@@ -202,27 +232,31 @@ class MicroBatcher:
             return item
 
     async def _execute(self, group, total: int, reason: str | None, loop) -> None:
-        group = [r for r in group if not r.future.done()]
-        if not group:
-            return
-        m = self.metrics
-        now = loop.time()
-        for req in group:
-            m.queue_wait.observe(now - req.enqueued_at)
-        m.batch_size.observe(total)
-        m.batch_flush_total.inc(1.0, reason or "timeout")
         try:
-            results = await loop.run_in_executor(
-                self._executor, self.runner, [r.x for r in group]
-            )
-            if len(results) != len(group):
-                raise RuntimeError(
-                    f"runner returned {len(results)} results for {len(group)} requests"
-                )
-            for req, res in zip(group, results):
-                if not req.future.done():
-                    req.future.set_result(res)
-        except Exception as exc:  # propagate to every caller of the group
+            group = [r for r in group if not r.future.done()]
+            if not group:
+                return
+            m = self.metrics
+            now = loop.time()
             for req in group:
-                if not req.future.done():
-                    req.future.set_exception(exc)
+                m.queue_wait.observe(now - req.enqueued_at)
+            m.batch_size.observe(total)
+            m.batch_flush_total.inc(1.0, reason or "timeout")
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self.runner, [r.x for r in group]
+                )
+                if len(results) != len(group):
+                    raise RuntimeError(
+                        f"runner returned {len(results)} results "
+                        f"for {len(group)} requests"
+                    )
+                for req, res in zip(group, results):
+                    if not req.future.done():
+                        req.future.set_result(res)
+            except Exception as exc:  # propagate to every caller of the group
+                for req in group:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+        finally:
+            self._slots.release()

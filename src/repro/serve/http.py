@@ -7,6 +7,12 @@ Endpoints:
   batch shaped like the model input.  Answers 200 with classes (and
   logits on request), 400 on malformed input, 429 + ``Retry-After``
   under backpressure, 503 while draining, 504 past deadline.
+  Alternatively ``Content-Type: application/x-repro-float64`` selects
+  the zero-copy decode path: an 8-byte header (``b"RPF8"`` magic +
+  u32-LE image count) followed by the images as little-endian float64
+  in C order; the body bytes back the numpy view directly, no JSON
+  round-trip.  Return mode and deadline then come from the
+  ``x-return`` / ``x-deadline-ms`` headers.
 * ``GET /healthz`` — readiness: 200 once the engine is warm and the
   batcher is running, 503 while starting or draining.  The body
   carries the model metadata (input shape, logit width) that
@@ -26,6 +32,7 @@ import asyncio
 import contextlib
 import json
 import signal
+import struct
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +42,7 @@ import numpy as np
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.batcher import MicroBatcher
 from repro.serve.breaker import CircuitBreaker
+from repro.serve.pool import EnginePool
 from repro.serve.service import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -43,10 +51,26 @@ from repro.serve.service import (
     ShuttingDownError,
 )
 
-__all__ = ["ServerConfig", "ServingServer", "build_engine", "run_server", "get_active_server"]
+__all__ = [
+    "ServerConfig",
+    "ServingServer",
+    "build_engine",
+    "run_server",
+    "get_active_server",
+    "RAW_CONTENT_TYPE",
+    "RAW_MAGIC",
+    "pack_raw_request",
+]
 
 #: Hard cap on request bodies (a 64-image CIFAR batch is ~6 MB of JSON).
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Content type selecting the zero-copy raw-float request decode path.
+RAW_CONTENT_TYPE = "application/x-repro-float64"
+
+#: Leading magic of a raw-float body; the u32-LE image count follows,
+#: making an 8-byte header that keeps the float64 payload aligned.
+RAW_MAGIC = b"RPF8"
 
 #: Benchmark dataset -> model input shape (NCHW minus the batch axis).
 INPUT_SHAPES = {"digits": (1, 28, 28), "shapes": (3, 32, 32)}
@@ -62,6 +86,8 @@ class ServerConfig:
 
     host: str = "127.0.0.1"
     port: int = 8080
+    #: engine replicas behind least-loaded dispatch (1 = single engine)
+    replicas: int = 1
     workers: int = 0
     max_batch: int = 32
     max_wait_ms: float = 5.0
@@ -88,6 +114,17 @@ class _HttpError(Exception):
     def __init__(self, code: int, message: str) -> None:
         super().__init__(message)
         self.code = code
+
+
+def pack_raw_request(x) -> bytes:
+    """Encode an image batch as a raw-float predict body.
+
+    Client-side counterpart of the server's zero-copy decode: magic,
+    u32-LE image count, then the batch as little-endian float64 in C
+    order.
+    """
+    x = np.ascontiguousarray(np.asarray(x), dtype="<f8")
+    return RAW_MAGIC + struct.pack("<I", x.shape[0]) + x.tobytes()
 
 
 def build_engine(config: ServerConfig):
@@ -162,6 +199,7 @@ class ServingServer:
         self.engine_factory = engine_factory or build_engine
         self.metrics = metrics or ServiceMetrics()
         self.engine = None
+        self.pool: EnginePool | None = None
         self.batcher: MicroBatcher | None = None
         self.service: InferenceService | None = None
         self.input_shape: tuple[int, ...] | None = None
@@ -175,46 +213,69 @@ class ServingServer:
         self._loop: asyncio.AbstractEventLoop | None = None
 
     # -- lifecycle ---------------------------------------------------------
+    def _build_replicas(self):
+        """Call the engine factory once per replica (synchronous).
+
+        Each call yields an independent engine (its own network object
+        and worker pool); the compiled-schedule artifact attach is
+        process-global, so every replica shares it.  Input shape and
+        model metadata come from the first replica.
+        """
+        engines, input_shape, meta = [], None, None
+        for _ in range(max(1, int(self.config.replicas))):
+            engine, shape, engine_meta = self.engine_factory(self.config)
+            if input_shape is None:
+                input_shape, meta = shape, engine_meta
+            engines.append(engine)
+        return engines, input_shape, meta
+
     async def start(self) -> None:
-        """Build + warm the engine, start the batcher and the listener."""
+        """Build + warm the engine replicas, start the batcher and listener."""
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._shutdown = asyncio.Event()
-        engine, input_shape, meta = await loop.run_in_executor(
-            None, self.engine_factory, self.config
+        engines, input_shape, meta = await loop.run_in_executor(
+            None, self._build_replicas
         )
-        engine.add_hook(self.metrics.engine_hook)
-        if engine.config.workers == 0 and engine.config.use_cache:
+        for engine in engines:
+            engine.add_hook(self.metrics.engine_hook)
+        if engines[0].config.workers == 0 and engines[0].config.use_cache:
             from repro.parallel.cache import get_worker_cache
 
             self.metrics.attach_schedule_cache(get_worker_cache())
-        # Readiness requires a warm engine: one dummy image primes the
-        # schedule caches and yields the logit width.
-        warm = await loop.run_in_executor(
-            None, engine.logits, np.zeros((1, *input_shape), dtype=np.float64)
-        )
-        self.engine = engine
-        self.input_shape = tuple(input_shape)
-        self.n_outputs = int(warm.shape[1])
-        self.model_meta = dict(meta)
-        self.batcher = MicroBatcher(
-            engine.logits_grouped,
-            max_batch_size=self.config.max_batch,
-            max_wait_ms=self.config.max_wait_ms,
-            metrics=self.metrics,
-        )
-        breaker = None
+        breaker_factory = None
         if self.config.breaker_threshold > 0:
-            breaker = CircuitBreaker(
+            breaker_factory = lambda: CircuitBreaker(  # noqa: E731
                 failure_threshold=self.config.breaker_threshold,
                 cooldown_s=self.config.breaker_cooldown_s,
             )
+        pool = EnginePool(engines, breaker_factory=breaker_factory,
+                          metrics=self.metrics)
+        # Readiness requires warm engines: one dummy image per replica
+        # primes the schedule caches and yields the logit width.
+        dummy = np.zeros((1, *input_shape), dtype=np.float64)
+        warm = None
+        for engine in engines:
+            warm = await loop.run_in_executor(None, engine.logits, dummy)
+        self.engine = engines[0]
+        self.pool = pool
+        self.input_shape = tuple(input_shape)
+        self.n_outputs = int(warm.shape[1])
+        self.model_meta = dict(meta)
+        self.model_meta["replicas"] = pool.size
+        self.batcher = MicroBatcher(
+            pool.run_grouped,
+            max_batch_size=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            metrics=self.metrics,
+            concurrency=pool.size,
+        )
         self.service = InferenceService(
             self.batcher,
             queue_depth=self.config.queue_depth,
             default_deadline_ms=self.config.default_deadline_ms,
             metrics=self.metrics,
-            breaker=breaker,
+            breaker=pool.circuit,
         )
         await self.service.start()
         self._server = await asyncio.start_server(
@@ -277,6 +338,8 @@ class ServingServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        self.metrics.connections_total.inc()
+        served = 0
         try:
             while True:
                 try:
@@ -291,6 +354,9 @@ class ServingServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                served += 1
+                if served > 1:
+                    self.metrics.keepalive_reuses_total.inc()
                 self._active_requests += 1
                 try:
                     code, payload, ctype, extra = await self._dispatch(
@@ -301,6 +367,14 @@ class ServingServer:
                 endpoint = path if path in _KNOWN_ENDPOINTS else "other"
                 self.metrics.requests_total.inc(1.0, endpoint, str(code))
                 keep_alive = headers.get("connection", "").lower() != "close"
+                # Pipelining is rejected: a client that sent its next
+                # request before this response forfeits the connection.
+                # The in-flight response is still written (with
+                # ``Connection: close``), the buffered request is never
+                # read — the client must retry it on a new connection.
+                if keep_alive and _has_buffered_request(reader):
+                    self.metrics.pipelined_rejected_total.inc()
+                    keep_alive = False
                 await _write_response(
                     writer, code, payload, content_type=ctype,
                     keep_alive=keep_alive, extra_headers=extra,
@@ -346,30 +420,68 @@ class ServingServer:
             "inflight": self.service.inflight if self.service else 0,
             "accepted": self.service.accepted if self.service else 0,
         }
+        if self.pool is not None:
+            doc["replicas"] = self.pool.size
+            doc["pool"] = self.pool.describe()
         breaker = self.service.breaker if self.service else None
         if breaker is not None:
             doc["circuit"] = breaker.describe()
         return (200 if ready else 503), _json_body(doc), "application/json", {}
 
+    def _decode_raw(self, headers, body):
+        """Zero-copy decode of a raw-float body; raises :class:`_HttpError`.
+
+        The returned array is a read-only view over the request body
+        bytes — no parse, no copy; grouping/sharding downstream reads
+        it directly.
+        """
+        if len(body) < 8 or body[:4] != RAW_MAGIC:
+            raise _HttpError(400, "raw body must start with RPF8 magic + u32 count")
+        (n,) = struct.unpack_from("<I", body, 4)
+        per_image = int(np.prod(self.input_shape)) * 8
+        expected = 8 + n * per_image
+        if n < 1:
+            raise _HttpError(400, "raw image count must be >= 1")
+        if len(body) != expected:
+            raise _HttpError(
+                400,
+                f"raw body length {len(body)} does not match count {n} "
+                f"(expected {expected} bytes for input shape {self.input_shape})",
+            )
+        return np.frombuffer(body, dtype="<f8", offset=8).reshape(n, *self.input_shape)
+
     async def _predict(self, headers, body):
-        try:
-            doc = json.loads(body.decode() or "{}")
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, _json_body({"error": f"bad JSON: {exc}"}), "application/json", {}
-        if not isinstance(doc, dict) or "images" not in doc:
-            return 400, _json_body({"error": 'body must be {"images": [...]}'}), \
-                "application/json", {}
-        try:
-            x = np.asarray(doc["images"], dtype=np.float64)
-        except (TypeError, ValueError) as exc:
-            return 400, _json_body({"error": f"bad images: {exc}"}), "application/json", {}
-        if x.shape == self.input_shape:
-            x = x[None]
-        if x.ndim != 1 + len(self.input_shape) or x.shape[1:] != self.input_shape:
-            return 400, _json_body({
-                "error": f"images must be shaped {self.input_shape} "
-                f"or (n, {', '.join(map(str, self.input_shape))}), got {x.shape}"
-            }), "application/json", {}
+        ctype = headers.get("content-type", "").partition(";")[0].strip().lower()
+        doc: dict = {}
+        if ctype == RAW_CONTENT_TYPE:
+            try:
+                x = self._decode_raw(headers, body)
+            except _HttpError as exc:
+                return exc.code, _json_body({"error": str(exc)}), \
+                    "application/json", {}
+            self.metrics.decode_total.inc(1.0, "raw")
+        else:
+            try:
+                doc = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, _json_body({"error": f"bad JSON: {exc}"}), \
+                    "application/json", {}
+            if not isinstance(doc, dict) or "images" not in doc:
+                return 400, _json_body({"error": 'body must be {"images": [...]}'}), \
+                    "application/json", {}
+            try:
+                x = np.asarray(doc["images"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                return 400, _json_body({"error": f"bad images: {exc}"}), \
+                    "application/json", {}
+            if x.shape == self.input_shape:
+                x = x[None]
+            if x.ndim != 1 + len(self.input_shape) or x.shape[1:] != self.input_shape:
+                return 400, _json_body({
+                    "error": f"images must be shaped {self.input_shape} "
+                    f"or (n, {', '.join(map(str, self.input_shape))}), got {x.shape}"
+                }), "application/json", {}
+            self.metrics.decode_total.inc(1.0, "json")
         deadline = doc.get("deadline_ms")
         if deadline is None and "x-deadline-ms" in headers:
             try:
@@ -377,7 +489,7 @@ class ServingServer:
             except ValueError:
                 return 400, _json_body({"error": "bad x-deadline-ms header"}), \
                     "application/json", {}
-        want = doc.get("return", "classes")
+        want = doc.get("return", headers.get("x-return", "classes"))
         if want not in ("classes", "logits", "both"):
             return 400, _json_body({"error": f"unknown return mode {want!r}"}), \
                 "application/json", {}
@@ -417,6 +529,16 @@ _STATUS_TEXT = {
 
 def _json_body(doc: dict) -> bytes:
     return (json.dumps(doc) + "\n").encode()
+
+
+def _has_buffered_request(reader: asyncio.StreamReader) -> bool:
+    """Bytes already received past the request we just answered?
+
+    Peeks :class:`asyncio.StreamReader`'s internal buffer (no public
+    peek exists); guarded so an implementation without ``_buffer``
+    simply never detects pipelining rather than crashing.
+    """
+    return bool(getattr(reader, "_buffer", None))
 
 
 async def _read_request(reader: asyncio.StreamReader):
@@ -491,7 +613,8 @@ def run_server(config: ServerConfig, engine_factory=None) -> int:
             print(
                 f"serving {server.model_meta.get('benchmark', '?')} on "
                 f"{config.host}:{server.port} "
-                f"(workers={config.workers}, max_batch={config.max_batch}, "
+                f"(replicas={server.pool.size}, workers={config.workers}, "
+                f"max_batch={config.max_batch}, "
                 f"max_wait_ms={config.max_wait_ms:g}, queue_depth={config.queue_depth})",
                 file=sys.stderr,
                 flush=True,

@@ -19,7 +19,12 @@ batcher.  It enforces three rules:
   :class:`~repro.serve.breaker.CircuitBreaker`; while open, requests
   are refused up front with :class:`CircuitOpenError` (HTTP 503 +
   ``Retry-After``) and a single half-open probe per cooldown tests
-  whether the engine recovered.
+  whether the engine recovered.  The breaker slot only assumes the
+  protocol (``allow``/``record_*``/``state``/``retry_after_s``/
+  ``opened_total``/``describe``), so a replica pool can substitute its
+  :class:`~repro.serve.pool.PoolCircuit` facade: admission is then
+  refused only when *every* replica's breaker is open, with the real
+  per-replica bookkeeping done by the pool at dispatch time.
 
 Admission check and enqueue happen without an intervening ``await``,
 so on a single event loop an admitted request is always enqueued

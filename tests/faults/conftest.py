@@ -97,11 +97,23 @@ def shm_sentry():
 
 @pytest.fixture(autouse=True)
 def orphan_sentry():
-    """The test must leave no live child processes behind."""
+    """The test must leave no live child processes behind.
+
+    A short grace poll absorbs the reap race — a pool worker that was
+    just SIGTERMed can report ``is_alive()`` for an instant before the
+    parent waits on it — while a genuinely leaked worker stays alive
+    past the deadline and still fails the test.
+    """
     import multiprocessing
+    import time
 
     yield
-    leftover = [p for p in multiprocessing.active_children() if p.is_alive()]
+    deadline = time.monotonic() + 2.0
+    while True:
+        leftover = [p for p in multiprocessing.active_children() if p.is_alive()]
+        if not leftover or time.monotonic() >= deadline:
+            break
+        time.sleep(0.05)
     for p in leftover:  # clean up so one failure doesn't cascade
         p.terminate()
         p.join(timeout=5)

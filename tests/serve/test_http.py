@@ -19,7 +19,12 @@ import pytest
 from repro.nn import attach_engines, build_mnist_net
 from repro.nn.calibration import LayerRanges
 from repro.parallel import BatchInferenceEngine, ParallelConfig
-from repro.serve import ServerConfig, ServingServer
+from repro.serve import (
+    RAW_CONTENT_TYPE,
+    ServerConfig,
+    ServingServer,
+    pack_raw_request,
+)
 
 SHARD = 4
 
@@ -312,3 +317,195 @@ class TestDrain:
             assert int(port_file.read_text()) == server.port
 
         with_server(stub_factory(), check, port_file=str(port_file))
+
+
+def _http_payload(method, path, body=b"", headers=(), connection=None):
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+    if connection is not None:
+        head += f"Connection: {connection}\r\n"
+    for name, value in headers:
+        head += f"{name}: {value}\r\n"
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    return head.encode() + b"\r\n" + body
+
+
+async def _read_response(reader):
+    status = int((await reader.readline()).split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    data = await reader.readexactly(length) if length else b""
+    return status, headers, data
+
+
+PREDICT_BODY = json.dumps({"images": [[0, 0], [0, 0]]}).encode()
+
+
+class TestKeepAlive:
+    def test_connection_reused_across_requests(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            for _ in range(3):
+                writer.write(_http_payload("POST", "/v1/predict", PREDICT_BODY))
+                await writer.drain()
+                status, headers, _ = await _read_response(reader)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+            # the same socket serves /metrics too, and the counters
+            # show one connection reused for every request after the first
+            writer.write(_http_payload("GET", "/metrics"))
+            await writer.drain()
+            status, _, body = await _read_response(reader)
+            assert status == 200
+            text = body.decode()
+            assert "repro_http_connections_total 1" in text
+            assert "repro_http_keepalive_reuses_total 3" in text
+            writer.close()
+
+        with_server(stub_factory(), check)
+
+    def test_connection_close_honored(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(
+                _http_payload("POST", "/v1/predict", PREDICT_BODY, connection="close")
+            )
+            await writer.drain()
+            status, headers, _ = await _read_response(reader)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""  # server closed its end
+            writer.close()
+
+        with_server(stub_factory(), check)
+
+    def test_half_closed_client_still_gets_its_response(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(_http_payload("POST", "/v1/predict", PREDICT_BODY))
+            await writer.drain()
+            writer.write_eof()  # client half-closes after sending
+            status, _, body = await _read_response(reader)
+            assert status == 200
+            assert json.loads(body)["n"] == 1
+            assert await reader.read() == b""
+            writer.close()
+
+        with_server(stub_factory(), check)
+
+    def test_pipelined_request_forfeits_the_connection(self):
+        async def check(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            # two requests in one write: the second is pipelined —
+            # buffered before the first response goes out
+            writer.write(
+                _http_payload("POST", "/v1/predict", PREDICT_BODY)
+                + _http_payload("POST", "/v1/predict", PREDICT_BODY)
+            )
+            await writer.drain()
+            status, headers, _ = await _read_response(reader)
+            assert status == 200  # the in-flight request is still answered
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""  # the pipelined one never is
+            writer.close()
+            assert server.metrics.pipelined_rejected_total.value() == 1.0
+
+        with_server(stub_factory(), check)
+
+
+class TestRawDecode:
+    def test_raw_body_byte_identical_logits_to_json_path(self, net, images):
+        async def check(server):
+            status, _, json_body = await request(
+                server.port, "POST", "/v1/predict",
+                {"images": images.tolist(), "return": "logits"},
+            )
+            assert status == 200
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(_http_payload(
+                "POST", "/v1/predict", pack_raw_request(images),
+                headers=(("Content-Type", RAW_CONTENT_TYPE), ("x-return", "logits")),
+                connection="close",
+            ))
+            await writer.drain()
+            raw_status, _, raw_body = await _read_response(reader)
+            writer.close()
+            assert raw_status == 200
+            # byte-identical response bodies: same floats, same JSON
+            assert raw_body == json_body
+
+        with_server(real_factory(net), check, shard_batch=SHARD)
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            pytest.param(lambda b: b[:-3], id="truncated-payload"),
+            pytest.param(lambda b: b"XXXX" + b[4:], id="bad-magic"),
+            pytest.param(lambda b: b[:6], id="short-header"),
+            pytest.param(lambda b: b + b"extra", id="trailing-garbage"),
+            pytest.param(
+                lambda b: b[:4] + (2**31).to_bytes(4, "little") + b[8:],
+                id="huge-count",
+            ),
+            pytest.param(
+                lambda b: b[:4] + (0).to_bytes(4, "little") + b[8:],
+                id="zero-count",
+            ),
+        ],
+    )
+    def test_malformed_raw_body_is_400_not_500(self, mangle):
+        async def check(server):
+            good = pack_raw_request(np.zeros((1, 2, 2)))
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(_http_payload(
+                "POST", "/v1/predict", mangle(good),
+                headers=(("Content-Type", RAW_CONTENT_TYPE),),
+                connection="close",
+            ))
+            await writer.drain()
+            status, _, body = await _read_response(reader)
+            writer.close()
+            assert status == 400
+            assert "error" in json.loads(body)
+
+        with_server(stub_factory(), check)
+
+    def test_decode_format_counters(self):
+        async def check(server):
+            await request(server.port, "POST", "/v1/predict", {"images": [[0, 0], [0, 0]]})
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(_http_payload(
+                "POST", "/v1/predict", pack_raw_request(np.zeros((1, 2, 2))),
+                headers=(("Content-Type", RAW_CONTENT_TYPE),),
+                connection="close",
+            ))
+            await writer.drain()
+            status, _, _ = await _read_response(reader)
+            writer.close()
+            assert status == 200
+            assert server.metrics.decode_total.value("json") == 1.0
+            assert server.metrics.decode_total.value("raw") == 1.0
+
+        with_server(stub_factory(), check)
+
+
+class TestReplicaBoot:
+    def test_healthz_reports_pool_topology(self):
+        async def check(server):
+            status, _, body = await request(server.port, "GET", "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["replicas"] == 2
+            assert doc["model"]["replicas"] == 2
+            assert [r["replica"] for r in doc["pool"]] == ["r0", "r1"]
+            for entry in doc["pool"]:
+                assert entry["circuit"]["state"] == "closed"
+            assert doc["circuit"]["state"] == "closed"
+
+        with_server(stub_factory(), check, replicas=2)

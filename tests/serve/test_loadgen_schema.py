@@ -9,7 +9,11 @@ any recorded run can be replayed with identical request bytes.
 
 from __future__ import annotations
 
-from benchmarks.loadgen import LoadReport, make_payload
+import dataclasses
+import json
+from pathlib import Path
+
+from benchmarks.loadgen import LoadReport, make_payload, make_raw_payload
 
 
 def sample_report() -> LoadReport:
@@ -48,3 +52,46 @@ def test_payload_is_deterministic_per_seed():
     shape = (1, 28, 28)
     assert make_payload(shape, 2, seed=7) == make_payload(shape, 2, seed=7)
     assert make_payload(shape, 2, seed=7) != make_payload(shape, 2, seed=8)
+
+
+def test_raw_payload_matches_json_payload_values():
+    """The raw wire body packs the same draws as the JSON body, so a
+    recorded seed replays identically under either content type."""
+    import struct
+
+    shape = (1, 4, 4)
+    raw = make_raw_payload(shape, 2, seed=7)
+    doc = json.loads(make_payload(shape, 2, seed=7))
+    assert raw[:4] == b"RPF8"
+    (n,) = struct.unpack_from("<I", raw, 4)
+    assert n == 2
+    values = struct.unpack_from(f"<{n * 16}d", raw, 8)
+    flat = [v for image in doc["images"] for row in image[0] for v in row]
+    assert list(values) == flat
+
+
+def test_raw_payload_is_deterministic_per_seed():
+    shape = (1, 28, 28)
+    assert make_raw_payload(shape, 2, seed=7) == make_raw_payload(shape, 2, seed=7)
+    assert make_raw_payload(shape, 2, seed=7) != make_raw_payload(shape, 2, seed=8)
+
+
+def test_new_fields_default_so_old_bench_rows_still_construct():
+    """BENCH_PR4 rows predate replicas/keep-alive; the recorded curves
+    must keep loading as LoadReports with the new fields defaulted."""
+    bench = json.loads(
+        (Path(__file__).parents[2] / "BENCH_PR4.json").read_text()
+    )
+    known = {f.name for f in dataclasses.fields(LoadReport)}
+    rows = bench["serving"]["curves"]
+    assert rows and all(isinstance(row, dict) for row in rows)
+    for row in rows:
+        fields = {k: v for k, v in row.items() if k in known}
+        fields.setdefault("seed", 0)  # rows older than the seed field
+        report = LoadReport(**fields)
+        assert report.replicas == 0
+        assert report.keep_alive is False
+        assert report.content_type == "json"
+        assert report.replica_dispatch == {}
+        # round-trips through the current schema
+        assert report.to_dict()["completed"] == row["completed"]

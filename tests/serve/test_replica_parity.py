@@ -1,0 +1,176 @@
+"""Replica parity: the pool must be invisible in the numbers.
+
+The same request stream served at ``--replicas`` 1, 2, and 4 must be
+bit-equal — per request — to serial ``Network.predict`` at the server's
+shard batch.  Each replica builds its *own* net from the same seed, so
+any cross-replica state leak, mis-sharded group, or dispatch that
+splits a request across replicas shows up as a numeric diff, not a
+flake.
+
+Hypothesis drives ragged request streams (sizes and image subsets);
+a fixed-golden test pins the served classes so a silent numeric drift
+in the whole stack (net, engine, pool, HTTP codec) is also caught.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import attach_engines, build_mnist_net
+from repro.nn.calibration import LayerRanges
+from repro.parallel import BatchInferenceEngine, ParallelConfig
+from repro.serve import ServerConfig, ServingServer
+
+SHARD = 4
+REPLICA_SWEEP = (1, 2, 4)
+
+
+def fresh_net():
+    """Same seed every call: identical weights, independent objects."""
+    net = build_mnist_net(seed=3, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "proposed-sc", ranges, n_bits=8)
+    return net
+
+
+def replica_factory(config):
+    """Called once per replica by the server: a fully private engine."""
+    engine = BatchInferenceEngine(
+        fresh_net(), ParallelConfig(workers=0, batch_size=SHARD)
+    )
+    return engine, (1, 28, 28), {"benchmark": "parity"}
+
+
+@pytest.fixture(scope="module")
+def reference_net():
+    return fresh_net()
+
+
+@pytest.fixture(scope="module")
+def image_pool():
+    rng = np.random.default_rng(23)
+    return rng.normal(0.0, 0.5, size=(6, 1, 28, 28))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Cache of serial predictions keyed by the request's image indices."""
+    net = fresh_net()
+    rng = np.random.default_rng(23)
+    pool = rng.normal(0.0, 0.5, size=(6, 1, 28, 28))
+    cache: dict[tuple[int, ...], list[int]] = {}
+
+    def lookup(indices: tuple[int, ...]) -> list[int]:
+        if indices not in cache:
+            cache[indices] = net.predict(pool[list(indices)], batch=SHARD).tolist()
+        return cache[indices]
+
+    return lookup
+
+
+async def post_predict(port, images) -> list[int]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps({"images": images.tolist()}).encode()
+    writer.write(
+        (
+            "POST /v1/predict HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    assert status == 200
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length)
+    writer.close()
+    return json.loads(body)["classes"]
+
+
+def serve_stream(replicas, image_pool, requests, concurrent=False):
+    """Boot a pool server, serve every request, return per-request classes."""
+
+    async def run():
+        server = ServingServer(
+            ServerConfig(
+                port=0,
+                replicas=replicas,
+                shard_batch=SHARD,
+                max_wait_ms=1.0,
+                queue_depth=32,
+            ),
+            engine_factory=replica_factory,
+        )
+        await server.start()
+        try:
+            coros = [
+                post_predict(server.port, image_pool[list(indices)])
+                for indices in requests
+            ]
+            if concurrent:
+                return await asyncio.gather(*coros)
+            return [await c for c in coros]
+        finally:
+            await server.drain_and_stop()
+
+    return asyncio.run(run())
+
+
+request_streams = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=5).map(tuple),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestReplicaParity:
+    @settings(max_examples=8, deadline=None)
+    @given(stream=request_streams)
+    @pytest.mark.parametrize("replicas", REPLICA_SWEEP)
+    def test_ragged_streams_bit_equal_to_serial(
+        self, replicas, stream, image_pool, reference
+    ):
+        served = serve_stream(replicas, image_pool, stream)
+        for indices, classes in zip(stream, served):
+            assert classes == reference(indices), (
+                f"replicas={replicas} request {indices} diverged from serial"
+            )
+
+    @pytest.mark.parametrize("replicas", REPLICA_SWEEP)
+    def test_concurrent_requests_never_leak_across_boundaries(
+        self, replicas, image_pool, reference
+    ):
+        """Distinct in-flight requests each match their own serial run."""
+        stream = [(0, 1, 2), (3,), (4, 5), (2, 4), (5, 0, 1, 3)]
+        served = serve_stream(replicas, image_pool, stream, concurrent=True)
+        for indices, classes in zip(stream, served):
+            assert classes == reference(indices)
+
+    def test_fixed_stream_golden(self, image_pool, reference, golden):
+        """Pin the served classes so numeric drift anywhere is visible."""
+        stream = [(0, 1, 2, 3), (4, 5), (1, 3, 5)]
+        rendered = {}
+        for replicas in REPLICA_SWEEP:
+            served = serve_stream(replicas, image_pool, stream)
+            rendered[replicas] = served
+            for indices, classes in zip(stream, served):
+                assert classes == reference(indices)
+        # every replica count served the identical answers
+        assert rendered[1] == rendered[2] == rendered[4]
+        lines = [f"stream={list(stream)!r}"]
+        for indices, classes in zip(stream, rendered[1]):
+            lines.append(f"{list(indices)!r} -> {classes!r}")
+        golden.check("replica_parity_classes.txt", "\n".join(lines) + "\n")
