@@ -1,0 +1,33 @@
+"""Pluggable tensor backends for the vectorized kernels.
+
+``repro.backend`` separates *what* the kernels compute (schedule
+gathers and integer-valued GEMMs, pinned bit-exact by the parity
+fleet) from *where* the arrays live: :class:`NumpyBackend` is the
+always-available default, :class:`TorchBackend` runs the same ops on
+torch CPU or CUDA tensors.  See ``docs/backends.md`` for the selection
+surface, the exactness guarantees, and the numpy-on-the-wire boundary
+rule.
+"""
+
+from repro.backend.base import ArrayBackend, NumpyBackend
+from repro.backend.registry import (
+    BackendInfo,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backend.torch_backend import TorchBackend, cuda_available, torch_available
+from repro.errors import BackendUnavailableError
+
+__all__ = [
+    "ArrayBackend",
+    "BackendInfo",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "TorchBackend",
+    "cuda_available",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+    "torch_available",
+]

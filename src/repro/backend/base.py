@@ -1,0 +1,126 @@
+"""The array-API shim the hot kernels are written against.
+
+:class:`ArrayBackend` is the *entire* tensor surface the vectorized
+kernels need: eight array operations plus dtype and device handles.
+Keeping the protocol this small is what makes a backend trivially
+auditable for the bit-exactness contract — every operation is either
+integer-exact on any implementation (``asarray``/``zeros``/``gather``/
+``cumsum``/``where`` over integer data) or covered by the float-GEMM
+exactness argument (``matmul``/``einsum`` over integer-valued floats:
+float32 partial sums below ``2**24`` and float64 partial sums below
+``2**53`` are exactly representable, so the result is the same integers
+regardless of the backend's summation order).
+
+Arrays cross process and shard boundaries as numpy only (shared-memory
+segments, pickled shard descriptors, and compiled-schedule artifacts
+are numpy/bytes on the wire); backend-native tensors live strictly
+inside one process between an ``asarray`` and a ``to_numpy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "NumpyBackend"]
+
+
+class ArrayBackend:
+    """Protocol of the pluggable tensor backend (numpy semantics).
+
+    Implementations provide the operations below with numpy's calling
+    conventions — in particular :meth:`gather` follows ``np.take``
+    (result shape ``a.shape[:axis] + indices.shape + a.shape[axis+1:]``)
+    and :meth:`where` broadcasts.  ``key`` is a stable identity string
+    (``"numpy"``, ``"torch:cpu"``, ``"torch:cuda:0"``) used to memoize
+    device-resident copies of cached host arrays.
+    """
+
+    #: registry name of the backend family ("numpy", "torch")
+    name: str = "base"
+    #: device the backend computes on ("cpu", "cuda", "cuda:1", ...)
+    device: str = "cpu"
+    #: True only for the numpy reference backend (fast-path dispatch)
+    is_numpy: bool = False
+
+    # -- dtype handles (backend-native dtype objects) ----------------------
+    float32: object = None
+    float64: object = None
+    int64: object = None
+
+    @property
+    def key(self) -> str:
+        """Stable identity for memoizing device-resident array copies."""
+        return f"{self.name}:{self.device}"
+
+    # -- the eight operations ----------------------------------------------
+    def asarray(self, values, dtype=None):
+        """Backend-native array/tensor from any array-like (host copy in)."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def gather(self, a, indices, axis: int = 0):
+        """``np.take`` semantics: index ``a`` along ``axis`` with ``indices``."""
+        raise NotImplementedError
+
+    def cumsum(self, a, axis: int = -1):
+        raise NotImplementedError
+
+    def matmul(self, a, b):
+        raise NotImplementedError
+
+    def einsum(self, spec: str, *operands):
+        raise NotImplementedError
+
+    def where(self, cond, a, b):
+        raise NotImplementedError
+
+    def to_numpy(self, a) -> np.ndarray:
+        """Copy a backend-native array back to host numpy (copy out)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(device={self.device!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain numpy on the host CPU.
+
+    Every operation is the identity mapping onto numpy, so kernels
+    running through this backend execute byte-for-byte the same code
+    paths as the pre-backend implementation — the reference every other
+    backend is differentially tested against.
+    """
+
+    name = "numpy"
+    device = "cpu"
+    is_numpy = True
+
+    float32 = np.float32
+    float64 = np.float64
+    int64 = np.int64
+
+    def asarray(self, values, dtype=None):
+        return np.asarray(values, dtype=dtype)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=dtype)
+
+    def gather(self, a, indices, axis: int = 0):
+        return np.take(a, indices, axis=axis)
+
+    def cumsum(self, a, axis: int = -1):
+        return np.cumsum(a, axis=axis)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def einsum(self, spec: str, *operands):
+        return np.einsum(spec, *operands)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def to_numpy(self, a) -> np.ndarray:
+        return np.asarray(a)

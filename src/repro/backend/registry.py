@@ -1,0 +1,133 @@
+"""Backend registry and the ``resolve_backend`` selector.
+
+Specs are strings::
+
+    "numpy"        the default host backend (always available)
+    "torch"        torch on CPU (optional extra)
+    "torch:cuda"   torch on the default CUDA device
+    "torch:cuda:1" torch on a specific CUDA device
+    "auto"         "torch:cuda" when a GPU is visible, else "numpy"
+                   (on CPU the tuned numpy BLAS path is the default;
+                   torch only changes the economics with a device)
+
+Resolution is memoized per spec so engines and caches can resolve on
+every call without cost, and the resolved *objects* are process-local —
+configs and engines pickle the spec string, never a backend instance,
+which is how backend selection crosses worker-process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.base import ArrayBackend, NumpyBackend
+from repro.backend.torch_backend import TorchBackend, cuda_available, torch_available
+from repro.errors import BackendUnavailableError
+
+__all__ = ["BackendInfo", "list_backends", "register_backend", "resolve_backend"]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One row of the availability probe (``repro backends``)."""
+
+    spec: str
+    available: bool
+    device: str
+    detail: str
+
+
+#: spec -> zero-arg factory raising BackendUnavailableError when absent
+_FACTORIES: dict[str, object] = {}
+
+#: memoized resolved instances, one per spec string per process
+_RESOLVED: dict[str, ArrayBackend] = {}
+
+
+def register_backend(spec: str, factory) -> None:
+    """Register (or replace) a backend factory under ``spec``."""
+    _FACTORIES[spec] = factory
+    _RESOLVED.pop(spec, None)
+
+
+def _auto_spec() -> str:
+    return "torch:cuda" if cuda_available() else "numpy"
+
+
+def resolve_backend(spec=None) -> ArrayBackend:
+    """Resolve a backend spec (or pass through an instance).
+
+    ``None`` and ``"numpy"`` give the :class:`NumpyBackend`; unknown
+    names raise ``ValueError``; a known-but-absent backend raises
+    :class:`~repro.errors.BackendUnavailableError` (so callers fail
+    fast in the parent process, before any pool is spawned).
+    """
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, ArrayBackend):
+        return spec
+    spec = str(spec)
+    if spec == "auto":
+        spec = _auto_spec()
+    hit = _RESOLVED.get(spec)
+    if hit is not None:
+        return hit
+    factory = _FACTORIES.get(spec)
+    if factory is None:
+        # "torch:cuda:1"-style device suffixes resolve through the
+        # family factory rather than needing their own registration
+        family, sep, device = spec.partition(":")
+        if family == "torch" and sep:
+            factory = lambda: TorchBackend(device)  # noqa: E731
+        else:
+            raise ValueError(
+                f"unknown backend {spec!r}; choose from "
+                f"{sorted(_FACTORIES)} (or 'torch:<device>', 'auto')"
+            )
+    backend = factory()
+    _RESOLVED[spec] = backend
+    return backend
+
+
+def _probe(spec: str) -> BackendInfo:
+    if spec == "numpy":
+        return BackendInfo("numpy", True, "cpu", "default (always available)")
+    if spec == "torch":
+        if not torch_available():
+            return BackendInfo(
+                "torch", False, "cpu", 'torch not installed — pip install "repro[torch]"'
+            )
+        import torch
+
+        return BackendInfo("torch", True, "cpu", f"torch {torch.__version__}")
+    if spec == "torch:cuda":
+        if not torch_available():
+            return BackendInfo(
+                "torch:cuda", False, "cuda",
+                'torch not installed — pip install "repro[torch]"',
+            )
+        if not cuda_available():
+            return BackendInfo("torch:cuda", False, "cuda", "no CUDA device visible")
+        import torch
+
+        return BackendInfo(
+            "torch:cuda", True, "cuda", torch.cuda.get_device_name(0)
+        )
+    try:
+        backend = resolve_backend(spec)
+    except BackendUnavailableError as exc:
+        return BackendInfo(spec, False, "?", str(exc))
+    return BackendInfo(spec, True, backend.device, "")
+
+
+def list_backends() -> list[BackendInfo]:
+    """Availability/device probe of every registered spec (plus auto)."""
+    rows = [_probe(spec) for spec in sorted(_FACTORIES)]
+    auto = _auto_spec()
+    rows.append(BackendInfo("auto", True, _probe(auto).device, f"resolves to {auto}"))
+    return rows
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("torch", lambda: TorchBackend("cpu"))
+register_backend("torch:cuda", lambda: TorchBackend("cuda"))

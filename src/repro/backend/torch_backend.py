@@ -1,0 +1,126 @@
+"""Optional torch backend (CPU and CUDA), lazy-imported.
+
+torch is an *optional extra* (``pip install "repro[torch]"``); this
+module must import cleanly without it, so the torch import happens
+inside :class:`TorchBackend` construction and raises the typed
+:class:`~repro.errors.BackendUnavailableError` with the pip remedy when
+missing.
+
+Bit-exactness on torch follows the same argument as numpy: the kernels
+feed the GEMMs integer-valued float operands whose partial sums stay
+below the dtype's exact-integer bound (``2**24`` for float32 — enforced
+by the schedule cache's dtype promotion — and ``2**53`` for float64),
+so any summation order produces the same integers.  Gathers and
+elementwise integer ops are exact by construction.  Device transfers
+happen only at the shim boundary (``asarray`` in, ``to_numpy`` out);
+between them tensors stay resident on ``device``, which is the whole
+perf point on CUDA — one host→device copy of the cached schedule
+tables, then device-only gathers and matmuls per batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.errors import BackendUnavailableError
+
+__all__ = ["TorchBackend", "torch_available", "cuda_available"]
+
+
+def _import_torch(spec: str = "torch"):
+    try:
+        import torch
+    except ImportError as exc:
+        raise BackendUnavailableError(spec, f"torch is not installed ({exc})") from exc
+    return torch
+
+
+def torch_available() -> bool:
+    """Cheap availability probe (no exception, no device init)."""
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def cuda_available() -> bool:
+    """True when torch is importable *and* sees at least one GPU."""
+    if not torch_available():
+        return False
+    import torch
+
+    try:
+        return bool(torch.cuda.is_available())
+    except Exception:  # a broken CUDA runtime must read as "absent"
+        return False
+
+
+class TorchBackend(ArrayBackend):
+    """torch tensors on one device, behind the :class:`ArrayBackend` shim."""
+
+    name = "torch"
+    is_numpy = False
+
+    def __init__(self, device: str = "cpu") -> None:
+        spec = "torch" if device == "cpu" else f"torch:{device}"
+        torch = _import_torch(spec)
+        if str(device).startswith("cuda") and not cuda_available():
+            raise BackendUnavailableError(
+                spec,
+                "no CUDA device is visible to torch",
+                "run on a CUDA host or use --backend torch",
+            )
+        self._torch = torch
+        self._device = torch.device(device)
+        self.device = str(self._device)
+        self.float32 = torch.float32
+        self.float64 = torch.float64
+        self.int64 = torch.int64
+        # Determinism belongs to the contract, not just speed: TF32
+        # matmuls round float32 operands to 19 bits and would break the
+        # 2**24 exactness bound, so they are disabled for this process.
+        if hasattr(torch.backends, "cuda"):
+            torch.backends.cuda.matmul.allow_tf32 = False
+        if hasattr(torch.backends, "cudnn"):
+            torch.backends.cudnn.allow_tf32 = False
+
+    def asarray(self, values, dtype=None):
+        torch = self._torch
+        if isinstance(values, torch.Tensor):
+            return values.to(device=self._device, dtype=dtype)
+        # via numpy so lists/scalars take one well-defined conversion
+        host = np.asarray(values)
+        return torch.as_tensor(host, device=self._device, dtype=dtype)
+
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(shape, dtype=dtype, device=self._device)
+
+    def gather(self, a, indices, axis: int = 0):
+        idx = self.asarray(indices, dtype=self.int64)
+        flat = self._torch.index_select(a, axis, idx.reshape(-1))
+        shape = a.shape[:axis] + idx.shape + a.shape[axis + 1 :]
+        return flat.reshape(shape)
+
+    def cumsum(self, a, axis: int = -1):
+        return self._torch.cumsum(a, dim=axis)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def einsum(self, spec: str, *operands):
+        return self._torch.einsum(spec, *operands)
+
+    def where(self, cond, a, b):
+        torch = self._torch
+        if not isinstance(a, torch.Tensor):
+            a = torch.as_tensor(a, device=self._device)
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, device=self._device)
+        return torch.where(cond, a, b)
+
+    def to_numpy(self, a) -> np.ndarray:
+        if isinstance(a, self._torch.Tensor):
+            return a.detach().cpu().numpy()
+        return np.asarray(a)

@@ -7,6 +7,7 @@ Commands
 ``infer``      timed batched SC inference (sharded process-pool engine)
 ``serve``      async HTTP inference service (micro-batching + /metrics)
 ``rtl``        emit the Verilog RTL project
+``backends``   tensor-backend availability/device probe
 ``info``       version, experiment list, benchmark specs
 ``cache``      inspect/verify/clear the checkpoint artifact store;
                ``cache compile``/``cache inspect`` manage the
@@ -19,6 +20,18 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+def _workers_arg(value: str):
+    """``--workers`` for serve: a plain count, or a per-replica comma list."""
+    if "," in value:
+        return value  # ServerConfig.workers_per_replica parses and validates
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an int or comma list of ints, got {value!r}"
+        ) from None
+
 
 _EXPERIMENT_NAMES = (
     "table1",
@@ -68,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_inf.add_argument("--batch", type=int, default=16, help="images per shard")
     p_inf.add_argument("--no-cache", action="store_true", help="disable per-worker caches")
     p_inf.add_argument(
+        "--backend",
+        default=None,
+        help="tensor backend: numpy (default), torch, torch:cuda, auto "
+        "(see `repro backends`)",
+    )
+    p_inf.add_argument(
         "--check", action="store_true", help="verify bit-exactness against the serial path"
     )
     p_inf.add_argument("--repeats", type=int, default=1, help="timed repeats (min is kept)")
@@ -84,9 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=0,
-        help="engine pool size (0 = in-process sharding with the schedule cache)",
+        help="engine pool size (0 = in-process sharding with the schedule "
+        "cache); a comma list like 2,0 sets each replica's pool explicitly",
+    )
+    p_srv.add_argument(
+        "--backend",
+        default=None,
+        help="tensor backend per replica: numpy (default), torch, torch:cuda, "
+        "auto; a comma list like torch,numpy assigns per replica",
     )
     p_srv.add_argument("--max-batch", type=int, default=32, help="images per coalesced batch")
     p_srv.add_argument(
@@ -195,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify one design only (default: all)",
     )
 
+    sub.add_parser("backends", help="tensor-backend availability and device probe")
+
     sub.add_parser("info", help="version and available experiments")
 
     p_cache = sub.add_parser("cache", help="inspect the checkpoint artifact store")
@@ -281,14 +309,22 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.parallel import ParallelConfig
 
     spec = DIGITS_QUICK_SPEC if args.benchmark == "digits" else SHAPES_QUICK_SPEC
-    if args.workers is None:
+    if args.workers is None and args.backend is None:
         parallelism = None
         mode = "serial reference"
     else:
+        # --backend alone runs the in-process sharded path (workers=0)
+        # so the backend override has a config to ride on
+        workers = args.workers or 0
         parallelism = ParallelConfig(
-            workers=args.workers, batch_size=args.batch, use_cache=not args.no_cache
+            workers=workers,
+            batch_size=args.batch,
+            use_cache=not args.no_cache,
+            backend=args.backend,
         )
-        mode = f"workers={args.workers} batch={args.batch} cache={not args.no_cache}"
+        mode = f"workers={workers} batch={args.batch} cache={not args.no_cache}"
+        if args.backend:
+            mode += f" backend={args.backend}"
     result = measure_throughput(
         spec,
         engine=args.engine,
@@ -337,6 +373,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_timeout_s=args.shard_timeout_s,
         shard_retries=args.shard_retries,
         precompile=not args.no_precompile,
+        backend=args.backend,
     )
     return run_server(config)
 
@@ -489,6 +526,18 @@ def _cache_inspect(args: argparse.Namespace, store) -> int:
     return 1 if bad else 0
 
 
+def _cmd_backends(_: argparse.Namespace) -> int:
+    from repro.backend import list_backends
+
+    rows = list_backends()
+    width = max(len(r.spec) for r in rows)
+    for r in rows:
+        status = "available" if r.available else "unavailable"
+        detail = f"  ({r.detail})" if r.detail else ""
+        print(f"{r.spec:{width}s}  {status:11s}  device={r.device}{detail}")
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro
     from repro.experiments.common import DIGITS_SPEC, SHAPES_SPEC
@@ -508,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
         "infer": _cmd_infer,
         "serve": _cmd_serve,
         "rtl": _cmd_rtl,
+        "backends": _cmd_backends,
         "info": _cmd_info,
         "cache": _cmd_cache,
     }

@@ -71,6 +71,7 @@ class ThroughputResult:
     workers: int
     batch_size: int
     use_cache: bool
+    backend: str
     seconds: float
     images_per_sec: float
     bit_exact: bool | None = None
@@ -161,10 +162,11 @@ def measure_throughput(
 
     model, x = _workload(spec, engine, n_bits, n_images)
     if parallelism is None:
-        workers, batch_size, use_cache = -1, 0, False
+        workers, batch_size, use_cache, backend = -1, 0, False, "numpy"
     else:
         config = resolve_parallelism(parallelism)
         workers, batch_size, use_cache = config.workers, config.batch_size, config.use_cache
+        backend = config.backend or "numpy"
     best = float("inf")
     pred = None
     for _ in range(max(1, repeats)):
@@ -186,6 +188,7 @@ def measure_throughput(
         workers=workers,
         batch_size=batch_size,
         use_cache=use_cache,
+        backend=backend,
         seconds=best,
         images_per_sec=n_images / best if best > 0 else float("inf"),
         bit_exact=bit_exact,

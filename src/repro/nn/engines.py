@@ -52,13 +52,24 @@ _SAT_MODES = ("term", "final", None)
 
 @dataclass
 class MatmulEngine:
-    """Base class carrying the common quantization parameters."""
+    """Base class carrying the common quantization parameters.
+
+    ``backend`` selects the :mod:`repro.backend` tensor backend the
+    array-heavy stages run on (``None`` = numpy).  It is a *spec
+    string*, so it pickles with the engine and travels to pool workers
+    inside the network skeleton; each process resolves it locally.
+    The SC engines whose math is integer-exact across backends
+    (:class:`ProposedScEngine`, :class:`TruncatedScEngine`) dispatch on
+    it; the float/fixed/LFSR baselines ignore it and stay on numpy
+    (their loops are host-bound, not GEMM-bound).
+    """
 
     n_bits: int = 8
     acc_bits: int = 2
     w_scale: float = 1.0
     x_scale: float = 1.0
     saturate: str | None = "final"
+    backend: str | None = None
 
     #: short identifier used by experiment tables
     name: str = "base"
@@ -68,6 +79,12 @@ class MatmulEngine:
             raise ValueError(f"unknown saturate mode {self.saturate!r}")
         if self.w_scale <= 0 or self.x_scale <= 0:
             raise ValueError("scales must be positive")
+        if self.backend is not None:
+            # fail fast in the parent process: an unknown or absent
+            # backend should never be discovered inside a pool worker
+            from repro.backend import resolve_backend
+
+            resolve_backend(self.backend)
 
     # -- helpers shared by integer engines --------------------------------
     def _quantize(self, w: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -256,10 +273,14 @@ class ProposedScEngine(MatmulEngine):
         w_int, x_int = self._quantize(w, x)
         if self.cache is not None:
             acc = self.cache.sc_matmul(
-                w_int, x_int, self.n_bits, self.acc_bits, saturate=self.saturate
+                w_int, x_int, self.n_bits, self.acc_bits,
+                saturate=self.saturate, backend=self.backend,
             )
         else:
-            acc = sc_matmul(w_int, x_int, self.n_bits, self.acc_bits, saturate=self.saturate)
+            acc = sc_matmul(
+                w_int, x_int, self.n_bits, self.acc_bits,
+                saturate=self.saturate, backend=self.backend,
+            )
         return self._dequantize(acc)
 
 
@@ -285,7 +306,10 @@ class TruncatedScEngine(MatmulEngine):
         from repro.core.kernels import truncated_matmul_kernel
 
         w_int, x_int = self._quantize(w, x)
-        acc = truncated_matmul_kernel(w_int, x_int, self.n_bits, self.cycle_budget, self.rescale)
+        acc = truncated_matmul_kernel(
+            w_int, x_int, self.n_bits, self.cycle_budget, self.rescale,
+            backend=self.backend,
+        )
         width = self.n_bits + self.acc_bits
         acc = np.clip(acc, -(1 << (width - 1)), (1 << (width - 1)) - 1)
         return self._dequantize(acc)

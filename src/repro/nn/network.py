@@ -45,7 +45,9 @@ class Network:
             layer.zero_grad()
 
     # -- inference ----------------------------------------------------------
-    def predict(self, x: np.ndarray, batch: int = 256, parallelism=None) -> np.ndarray:
+    def predict(
+        self, x: np.ndarray, batch: int = 256, parallelism=None, backend=None
+    ) -> np.ndarray:
         """Predicted class indices, evaluated in batches.
 
         ``parallelism`` opts into the sharded batched engine: ``None``
@@ -53,7 +55,25 @@ class Network:
         and a :class:`repro.parallel.ParallelConfig` sets every knob.
         At a fixed batch size, results are bit-exact across worker
         counts (see :mod:`repro.parallel.engine` for the contract).
+
+        ``backend`` selects the :mod:`repro.backend` tensor backend the
+        conv engines dispatch on for this call (a spec string like
+        ``"torch"``; ``None`` = leave engines as constructed).  Results
+        are bit-exact across backends for the SC engines.
         """
+        if backend is not None:
+            import dataclasses
+
+            from repro.parallel import ParallelConfig, resolve_parallelism
+
+            if parallelism is None:
+                # preserve the serial path's chunking: the float dense
+                # head is summation-order-sensitive to the batch size
+                parallelism = ParallelConfig(workers=0, batch_size=batch, backend=backend)
+            else:
+                parallelism = dataclasses.replace(
+                    resolve_parallelism(parallelism), backend=backend
+                )
         if parallelism is not None:
             from repro.parallel import predict_batched
 
@@ -65,10 +85,11 @@ class Network:
         return np.concatenate(out)
 
     def accuracy(
-        self, x: np.ndarray, labels: np.ndarray, batch: int = 256, parallelism=None
+        self, x: np.ndarray, labels: np.ndarray, batch: int = 256,
+        parallelism=None, backend=None,
     ) -> float:
         """Top-1 accuracy on the given set."""
-        pred = self.predict(x, batch=batch, parallelism=parallelism)
+        pred = self.predict(x, batch=batch, parallelism=parallelism, backend=backend)
         return float((pred == np.asarray(labels)).mean())
 
     # -- parameters -----------------------------------------------------------

@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.accumulator import check_acc_bits
 from repro.core.fsm_generator import coefficient_vector
-from repro.core.kernels import select_schedule
+from repro.core.kernels import _resolve, select_schedule
 from repro.core.mvm import sc_matmul
 from repro.keys import bit_table_key, layer_digest, select_key, ud_table_key
 from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
@@ -90,6 +90,11 @@ class ScheduleCache:
         self._selects: dict[tuple[int, int], np.ndarray] = {}
         self._layers: OrderedDict[tuple, tuple] = OrderedDict()
         self._ud_tables: dict[str, np.ndarray] = {}
+        #: device-resident copies of cached host arrays, keyed by
+        #: ``(backend.key, kind, ...)``.  Memoized so a non-numpy
+        #: backend pays one host->device transfer per table/layer, not
+        #: one per batch; dropped with the cache on fault recovery.
+        self._device_arrays: OrderedDict[tuple, object] = OrderedDict()
         self._poisoned = False
         self.hits = 0
         self.misses = 0
@@ -195,6 +200,10 @@ class ScheduleCache:
         subtraction constant of the closed form.  Keyed by weight
         *content*, so in-place weight updates miss and recompute.
         """
+        return self._layer_lookup(np.asarray(w_int), n_bits)[1]
+
+    def _layer_lookup(self, w_int: np.ndarray, n_bits: int) -> tuple[tuple, tuple]:
+        """:meth:`layer_coeff` plus the content key (device-copy memo)."""
         if self._poisoned:
             raise CachePoisonedError("schedule cache was poisoned; drop and rebuild")
         w = np.ascontiguousarray(np.asarray(w_int, dtype=np.int64))
@@ -207,7 +216,7 @@ class ScheduleCache:
             self.hits += 1
             if self.hook is not None:
                 self.hook("hit")
-            return cached
+            return key, cached
         m, d = w.shape
         if self.compiled is not None:
             coeff_t = self.compiled.get(f"{digest}/coeff")
@@ -218,7 +227,7 @@ class ScheduleCache:
                 self.compiled_hits += 1
                 if self.hook is not None:
                     self.hook("hit")
-                return entry
+                return key, entry
         self.misses += 1
         self.rebuilds += 1
         if self.hook is not None:
@@ -239,7 +248,26 @@ class ScheduleCache:
         self._layers[key] = entry
         while len(self._layers) > self.max_layers:
             self._layers.popitem(last=False)
-        return entry
+        return key, entry
+
+    def _device_array(self, bk, key: tuple, source: np.ndarray, dtype=None):
+        """Memoized backend-resident copy of a cached host array.
+
+        Keyed by the backend identity plus the entry's *content* key, so
+        an evicted-and-rebuilt host entry maps back to the same device
+        copy.  Bounded like the layer LRU (device memory is the scarcer
+        resource).
+        """
+        full = (bk.key,) + key
+        hit = self._device_arrays.get(full)
+        if hit is not None:
+            self._device_arrays.move_to_end(full)
+            return hit
+        dev = bk.asarray(source if dtype is None else source.astype(dtype, copy=False))
+        self._device_arrays[full] = dev
+        while len(self._device_arrays) > 4 * self.max_layers:
+            self._device_arrays.popitem(last=False)
+        return dev
 
     @staticmethod
     def _entry_ok(key, entry) -> bool:
@@ -290,12 +318,21 @@ class ScheduleCache:
         n_bits: int,
         acc_bits: int = 2,
         saturate: str | None = "final",
+        backend=None,
     ) -> np.ndarray:
         """BISC-MVM matrix product, bit-exact with :func:`~repro.core.mvm.sc_matmul`.
 
         The ``"term"`` saturation mode is order-dependent along the dot
         product and gains nothing from the cached closed form, so it
         delegates to the reference implementation.
+
+        ``backend=`` moves the gather + GEMM onto a
+        :mod:`repro.backend` backend; coefficient and bit tables are
+        memoized device-side per backend, inputs and outputs stay
+        numpy.  The result is bit-identical to the numpy path: the
+        cached coefficients are float32 only when every partial sum is
+        below ``2**24`` (float64 otherwise), so the GEMM is exact under
+        any summation order.
         """
         if saturate == "term":
             return sc_matmul(w_int, x_int, n_bits, acc_bits, saturate=saturate)
@@ -312,13 +349,34 @@ class ScheduleCache:
 
         m, d = w.shape
         _, p = x.shape
-        coeff_t, const = self.layer_coeff(w, n_bits)
+        key, (coeff_t, const) = self._layer_lookup(w, n_bits)
         offs = to_offset_binary(x, n_bits)
-        bits = self.bit_table(n_bits)[:, offs]  # (N, D, P), contiguous
-        bits = bits.reshape(d * n_bits, p)
-        if coeff_t.dtype != np.float32:
-            bits = bits.astype(np.float64)
-        ones_signed = np.rint(np.asarray(coeff_t @ bits, dtype=np.float64)).astype(np.int64)
+        bk = _resolve(backend)
+        if bk is not None:
+            coeff_dev = self._device_array(
+                bk, ("layer",) + key + (coeff_t.dtype.str,), coeff_t
+            )
+            table_dev = self._device_array(
+                bk, ("bit", int(n_bits), coeff_t.dtype.str),
+                self.bit_table(n_bits), dtype=coeff_t.dtype,
+            )
+            # (N, 2**N) gathered at (D*P,) flat offsets -> (N, D*P); the
+            # flat layout equals (N, D, P), so the reshape below matches
+            # the numpy path's (N, D, P) -> (N*D, P) exactly.
+            bits = bk.gather(
+                table_dev, bk.asarray(offs.reshape(-1), dtype=bk.int64), axis=1
+            )
+            bits = bits.reshape(n_bits * d, p)
+            prod = bk.to_numpy(bk.matmul(coeff_dev, bits))
+            ones_signed = np.rint(np.asarray(prod, dtype=np.float64)).astype(np.int64)
+        else:
+            bits = self.bit_table(n_bits)[:, offs]  # (N, D, P), contiguous
+            bits = bits.reshape(d * n_bits, p)
+            if coeff_t.dtype != np.float32:
+                bits = bits.astype(np.float64)
+            ones_signed = np.rint(
+                np.asarray(coeff_t @ bits, dtype=np.float64)
+            ).astype(np.int64)
         out = 2 * ones_signed - const[:, None]
         if saturate == "final":
             width = check_acc_bits(n_bits, acc_bits)

@@ -98,6 +98,12 @@ class ParallelConfig:
     how pool dispatch survives failing, hung, or dying shards — the
     policy never changes *what* is computed, only how many times the
     same shards are re-executed.
+
+    ``backend`` is a :mod:`repro.backend` spec string overriding the
+    tensor backend of every dispatched engine for the duration of the
+    call (``None`` = leave engines as constructed).  Only the *string*
+    crosses process boundaries — each worker resolves it locally, so
+    device handles never ride the pickle or shm path.
     """
 
     workers: int = 0
@@ -106,12 +112,18 @@ class ParallelConfig:
     start_method: str | None = None
     use_cache: bool = True
     retry: RetryPolicy = RetryPolicy()
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.batch_size < 0 or self.tile_size < 0:
             raise ValueError("chunk sizes must be >= 0")
+        if self.backend is not None:
+            # fail fast in the parent, before any pool is spawned
+            from repro.backend import resolve_backend
+
+            resolve_backend(self.backend)
 
     def context(self):
         """The multiprocessing context for this configuration."""
@@ -328,6 +340,7 @@ def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
             out_spec,
             config.use_cache,
             _share_compiled(pool, config),
+            config.backend,
         )
 
     return _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -419,6 +432,7 @@ def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
             out_spec,
             config.use_cache,
             _share_compiled(pool, config),
+            config.backend,
         )
 
     result = _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -464,6 +478,7 @@ def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> n
             out_spec,
             config.use_cache,
             _share_compiled(pool, config),
+            config.backend,
         )
 
     return _run_sharded_pool(config, shards, _worker.run_matmul_shard, populate)
@@ -485,24 +500,34 @@ def _share_compiled(pool: SharedArrayPool, config: ParallelConfig):
 
 
 def _attach_caches_inproc(net, config: ParallelConfig):
-    """Attach the process cache to a net's engines; return an undo."""
-    if not config.use_cache:
-        return lambda: None
+    """Attach the process cache / backend override to a net's engines.
+
+    Returns an undo restoring the previous attributes.  The cache
+    attach is gated on ``use_cache``; the ``config.backend`` override
+    applies regardless (it changes *where* arrays live, not what work
+    is memoized).
+    """
     undos = []
     for conv in net.conv_layers:
-        if hasattr(conv.engine, "cache"):
-            engine, prev = conv.engine, conv.engine.cache
+        engine = conv.engine
+        if config.use_cache and hasattr(engine, "cache"):
+            undos.append((engine, "cache", engine.cache))
             engine.cache = get_worker_cache()
-            undos.append((engine, prev))
-    return lambda: [setattr(e, "cache", prev) for e, prev in undos]
+        if config.backend is not None and hasattr(engine, "backend"):
+            undos.append((engine, "backend", engine.backend))
+            engine.backend = config.backend
+    return lambda: [setattr(e, attr, prev) for e, attr, prev in undos]
 
 
 def _attach_engine_cache_inproc(engine, config: ParallelConfig):
-    if not config.use_cache or not hasattr(engine, "cache"):
-        return lambda: None
-    prev = engine.cache
-    engine.cache = get_worker_cache()
-    return lambda: setattr(engine, "cache", prev)
+    undos = []
+    if config.use_cache and hasattr(engine, "cache"):
+        undos.append((engine, "cache", engine.cache))
+        engine.cache = get_worker_cache()
+    if config.backend is not None and hasattr(engine, "backend"):
+        undos.append((engine, "backend", engine.backend))
+        engine.backend = config.backend
+    return lambda: [setattr(e, attr, prev) for e, attr, prev in undos]
 
 
 class BatchInferenceEngine:

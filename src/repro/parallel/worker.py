@@ -217,6 +217,23 @@ def _drop_poisonable_state() -> None:
         engine.cache = get_worker_cache()
 
 
+def _apply_backend_override(engines, backend: str | None) -> None:
+    """Point backend-aware engines at ``backend`` (a spec string).
+
+    Resolved once here so an unknown or absent backend fails the
+    initializer loudly (surfacing as a pool-spawn error in the parent)
+    instead of failing shard-by-shard.
+    """
+    if backend is None:
+        return
+    from repro.backend import resolve_backend
+
+    resolve_backend(backend)
+    for engine in engines:
+        if hasattr(engine, "backend"):
+            engine.backend = backend
+
+
 def init_network_worker(
     skel,
     weight_specs: list[SharedArraySpec],
@@ -224,6 +241,7 @@ def init_network_worker(
     out_spec: SharedArraySpec,
     use_cache: bool,
     sched_spec: SharedArraySpec | None = None,
+    backend: str | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -239,6 +257,7 @@ def init_network_worker(
     _load_weights(skel, weight_specs)
     if use_cache:
         attach_engine_caches(skel)
+    _apply_backend_override((conv.engine for conv in skel.conv_layers), backend)
     _STATE["net"] = skel
     _STATE["use_cache"] = use_cache
     _STATE["x"] = SharedArrayView(x_spec)
@@ -280,6 +299,7 @@ def init_matmul_worker(
     out_spec: SharedArraySpec,
     use_cache: bool,
     sched_spec: SharedArraySpec | None = None,
+    backend: str | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -291,6 +311,7 @@ def init_matmul_worker(
     _adopt_compiled(sched_spec, use_cache)
     if use_cache and hasattr(engine, "cache"):
         engine.cache = get_worker_cache()
+    _apply_backend_override((engine,), backend)
     _STATE["engine"] = engine
     _STATE["use_cache"] = use_cache
     _STATE["w"] = SharedArrayView(w_spec)

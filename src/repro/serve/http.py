@@ -82,13 +82,24 @@ _KNOWN_ENDPOINTS = ("/v1/predict", "/healthz", "/metrics")
 
 @dataclass
 class ServerConfig:
-    """Every knob of one serving process (CLI flags map 1:1)."""
+    """Every knob of one serving process (CLI flags map 1:1).
+
+    ``workers`` and ``backend`` accept either one value applied to
+    every replica or a comma list assigning each replica its own —
+    ``workers="2,0"`` gives replica r0 a two-process pool and runs r1
+    in-process; ``backend="torch,numpy"`` splits the fleet across
+    tensor backends (bit-exact either way, so mixed fleets still pass
+    the parity gate).  :meth:`workers_per_replica` /
+    :meth:`backends_per_replica` expose the broadcast lists; they are
+    also reported per replica in ``/healthz``.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8080
     #: engine replicas behind least-loaded dispatch (1 = single engine)
     replicas: int = 1
-    workers: int = 0
+    #: pool size per replica: an int, or a comma list (one per replica)
+    workers: int | str = 0
     max_batch: int = 32
     max_wait_ms: float = 5.0
     queue_depth: int = 64
@@ -108,6 +119,44 @@ class ServerConfig:
     #: compile (or load) the schedule artifact before accepting traffic,
     #: so pool workers attach warm instead of rebuilding schedules
     precompile: bool = True
+    #: tensor backend spec per replica: None (numpy), one spec, or a
+    #: comma list (one per replica); see ``repro backends``
+    backend: str | None = None
+
+    def _broadcast(self, values: list, flag: str) -> list:
+        n = max(1, int(self.replicas))
+        if len(values) == 1:
+            return values * n
+        if len(values) != n:
+            raise ValueError(
+                f"{flag} lists {len(values)} per-replica values "
+                f"but replicas={n}"
+            )
+        return values
+
+    def workers_per_replica(self) -> list[int]:
+        """Pool size of each replica (length ``replicas``)."""
+        if isinstance(self.workers, str):
+            try:
+                vals = [int(p.strip()) for p in self.workers.split(",")]
+            except ValueError:
+                raise ValueError(
+                    f"--workers must be an int or comma list of ints, "
+                    f"got {self.workers!r}"
+                ) from None
+        else:
+            vals = [int(self.workers)]
+        if any(v < 0 for v in vals):
+            raise ValueError("workers must be >= 0")
+        return self._broadcast(vals, "--workers")
+
+    def backends_per_replica(self) -> list[str | None]:
+        """Tensor-backend spec of each replica (length ``replicas``)."""
+        if self.backend is None:
+            vals: list[str | None] = [None]
+        else:
+            vals = [p.strip() or None for p in str(self.backend).split(",")]
+        return self._broadcast(vals, "--backend")
 
 
 class _HttpError(Exception):
@@ -167,11 +216,17 @@ def build_engine(config: ServerConfig):
             "entries": len(compiled),
             "bytes": compiled.nbytes,
         }
+    # When called directly with an un-split config (comma lists), act
+    # as the first replica; _build_replicas hands each replica a config
+    # already narrowed to scalars.
+    workers = config.workers_per_replica()[0]
+    backend = config.backends_per_replica()[0]
     engine = BatchInferenceEngine(
         model.net,
         ParallelConfig(
-            workers=config.workers,
+            workers=workers,
             batch_size=config.shard_batch,
+            backend=backend,
             retry=RetryPolicy(
                 max_attempts=config.shard_retries,
                 shard_timeout_s=config.shard_timeout_s,
@@ -183,7 +238,8 @@ def build_engine(config: ServerConfig):
         "dataset": spec.dataset,
         "engine": config.engine,
         "n_bits": config.n_bits,
-        "workers": config.workers,
+        "workers": workers,
+        "backend": backend or "numpy",
         "shard_batch": config.shard_batch,
         "schedule_artifact": schedule_artifact,
     }
@@ -219,11 +275,21 @@ class ServingServer:
         Each call yields an independent engine (its own network object
         and worker pool); the compiled-schedule artifact attach is
         process-global, so every replica shares it.  Input shape and
-        model metadata come from the first replica.
+        model metadata come from the first replica.  Per-replica
+        ``workers``/``backend`` comma lists are narrowed here: each
+        factory call receives a config whose ``workers`` and
+        ``backend`` are that replica's scalars.
         """
+        import dataclasses
+
+        workers = self.config.workers_per_replica()
+        backends = self.config.backends_per_replica()
         engines, input_shape, meta = [], None, None
-        for _ in range(max(1, int(self.config.replicas))):
-            engine, shape, engine_meta = self.engine_factory(self.config)
+        for w, b in zip(workers, backends):
+            replica_config = dataclasses.replace(
+                self.config, workers=w, backend=b
+            )
+            engine, shape, engine_meta = self.engine_factory(replica_config)
             if input_shape is None:
                 input_shape, meta = shape, engine_meta
             engines.append(engine)
@@ -263,6 +329,10 @@ class ServingServer:
         self.n_outputs = int(warm.shape[1])
         self.model_meta = dict(meta)
         self.model_meta["replicas"] = pool.size
+        self.model_meta["workers_per_replica"] = self.config.workers_per_replica()
+        self.model_meta["backends_per_replica"] = [
+            b or "numpy" for b in self.config.backends_per_replica()
+        ]
         self.batcher = MicroBatcher(
             pool.run_grouped,
             max_batch_size=self.config.max_batch,

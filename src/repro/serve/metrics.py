@@ -420,6 +420,13 @@ class ServiceMetrics:
             "repro_schedule_cache_layers",
             "Layer-coefficient entries resident in the in-process cache.",
         )
+        # registered last on purpose: families render in registration
+        # order, so new families append to the golden exposition file
+        self.backend_info = r.labeled_gauge(
+            "repro_backend_info",
+            "Tensor backend serving each pool replica (value is always 1).",
+            ("replica", "backend"),
+        )
 
     # -- adapters for the parallel engine's hook protocol -----------------
     def engine_hook(self, n_images: int, seconds: float, workers: int) -> None:
@@ -441,7 +448,7 @@ class ServiceMetrics:
         codes = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
         self.circuit_state.callback = lambda: codes[breaker.state]
 
-    def attach_replica(self, name: str, breaker=None) -> None:
+    def attach_replica(self, name: str, breaker=None, backend: str | None = None) -> None:
         """Pre-declare one pool replica's label set, wiring its breaker."""
         self.replica_dispatch_total.declare(name)
         self.replica_circuit_opened_total.declare(name)
@@ -451,6 +458,8 @@ class ServiceMetrics:
             self.replica_circuit_state.set_callback(
                 lambda: codes[breaker.state], name
             )
+        if backend is not None:
+            self.backend_info.set(1.0, name, backend)
 
     def render(self) -> str:
         return self.registry.render()

@@ -1,0 +1,348 @@
+"""Conformance and wiring tests of the pluggable tensor backends.
+
+Three concerns, in dependency order:
+
+1. **Protocol conformance** — :class:`NumpyBackend` (and, when the
+   optional extra is installed, :class:`TorchBackend`) implement every
+   :class:`ArrayBackend` operation with numpy's semantics.
+2. **Resolution** — ``resolve_backend`` memoizes per spec, fails fast
+   with the typed :class:`BackendUnavailableError` naming the pip
+   remedy, and ``"auto"`` degrades to numpy on a CPU-only host.
+3. **Plumbing** — engines, parallel configs, the serve config's
+   comma-list narrowing, the pool's ``/healthz`` document, and the
+   ``repro_backend_info`` metric all carry the backend spec end to end.
+
+A ``_FakeBackend`` (numpy ops under ``is_numpy=False``) drives the
+non-numpy dispatch branches of every kernel without needing torch in
+the environment; the torch-marked tests run only in the CI
+``backend-torch`` job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    cuda_available,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    torch_available,
+)
+from repro.backend.registry import _FACTORIES, _RESOLVED
+from repro.core.kernels import (
+    mvm_mac_kernel,
+    select_schedule,
+    stream_matrix,
+    truncated_matmul_kernel,
+)
+from repro.core.mvm import sc_matmul
+from repro.nn.engines import ProposedScEngine, TruncatedScEngine
+from repro.parallel import ParallelConfig, ScheduleCache
+
+needs_torch = pytest.mark.skipif(not torch_available(), reason="torch not installed")
+
+#: backend axis of the parity tests: numpy always, torch when installed
+BACKEND_SPECS = [
+    "numpy",
+    pytest.param("torch", marks=needs_torch),
+]
+
+
+class _FakeBackend(NumpyBackend):
+    """Numpy ops routed through the *non*-numpy kernel dispatch path."""
+
+    name = "fake"
+    is_numpy = False
+
+
+@pytest.fixture
+def fake_backend():
+    register_backend("fake", _FakeBackend)
+    yield resolve_backend("fake")
+    _FACTORIES.pop("fake", None)
+    _RESOLVED.pop("fake", None)
+
+
+def _conformance(bk: ArrayBackend) -> None:
+    """Assert every protocol op matches its numpy reference."""
+    a = np.arange(12, dtype=np.int64).reshape(3, 4)
+    dev = bk.asarray(a, dtype=bk.int64)
+    assert np.array_equal(bk.to_numpy(dev), a)
+
+    assert np.array_equal(bk.to_numpy(bk.zeros((2, 3), dtype=bk.float64)), np.zeros((2, 3)))
+
+    idx = np.array([2, 0, 3, 3], dtype=np.int64)
+    assert np.array_equal(bk.to_numpy(bk.gather(dev, idx, axis=1)), np.take(a, idx, axis=1))
+    # 2-D index: np.take splices the index shape into the result
+    idx2 = idx.reshape(2, 2)
+    assert np.array_equal(bk.to_numpy(bk.gather(dev, idx2, axis=1)), np.take(a, idx2, axis=1))
+
+    assert np.array_equal(bk.to_numpy(bk.cumsum(dev, axis=1)), np.cumsum(a, axis=1))
+
+    w = np.arange(6, dtype=np.float64).reshape(2, 3)
+    x = np.arange(12, dtype=np.float64).reshape(3, 4)
+    wd, xd = bk.asarray(w, dtype=bk.float64), bk.asarray(x, dtype=bk.float64)
+    assert np.array_equal(bk.to_numpy(bk.matmul(wd, xd)), w @ x)
+    assert np.array_equal(bk.to_numpy(bk.einsum("md,dp->mp", wd, xd)), w @ x)
+
+    cond = bk.asarray(a % 2 == 0)
+    got = bk.to_numpy(bk.where(cond, bk.asarray(a), bk.asarray(-a)))
+    assert np.array_equal(got, np.where(a % 2 == 0, a, -a))
+
+
+class TestProtocolConformance:
+    def test_numpy_backend(self):
+        _conformance(NumpyBackend())
+
+    def test_fake_backend(self, fake_backend):
+        _conformance(fake_backend)
+
+    @needs_torch
+    def test_torch_cpu_backend(self):
+        _conformance(resolve_backend("torch"))
+
+    def test_numpy_backend_key_and_flags(self):
+        bk = NumpyBackend()
+        assert bk.key == "numpy:cpu"
+        assert bk.is_numpy
+        assert bk.device == "cpu"
+
+
+class TestResolution:
+    def test_none_and_numpy_resolve_to_numpy(self):
+        assert resolve_backend(None).is_numpy
+        assert resolve_backend("numpy").is_numpy
+
+    def test_memoized_per_spec(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+
+    def test_instance_passes_through(self):
+        bk = NumpyBackend()
+        assert resolve_backend(bk) is bk
+
+    def test_unknown_spec_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("tensorflow")
+
+    @pytest.mark.skipif(torch_available(), reason="needs torch absent")
+    def test_torch_absent_raises_typed_error_with_remedy(self):
+        with pytest.raises(BackendUnavailableError, match=r'pip install "repro\[torch\]"'):
+            resolve_backend("torch")
+
+    @pytest.mark.skipif(torch_available(), reason="needs torch absent")
+    def test_error_carries_spec_and_remedy(self):
+        with pytest.raises(BackendUnavailableError) as exc_info:
+            resolve_backend("torch")
+        assert exc_info.value.spec == "torch"
+        assert "repro[torch]" in exc_info.value.remedy
+
+    def test_auto_degrades_to_numpy_without_cuda(self):
+        if not cuda_available():
+            assert resolve_backend("auto").is_numpy
+
+    @needs_torch
+    def test_torch_cpu_resolves(self):
+        bk = resolve_backend("torch")
+        assert bk.name == "torch"
+        assert bk.device == "cpu"
+        assert not bk.is_numpy
+
+    @needs_torch
+    def test_torch_cuda_without_gpu_raises(self):
+        if cuda_available():
+            pytest.skip("host has a GPU")
+        with pytest.raises(BackendUnavailableError, match="CUDA"):
+            resolve_backend("torch:cuda")
+
+    def test_list_backends_has_numpy_and_auto(self):
+        rows = {info.spec: info for info in list_backends()}
+        assert rows["numpy"].available
+        assert "auto" in rows
+        if not torch_available():
+            assert not rows["torch"].available
+            assert "repro[torch]" in rows["torch"].detail
+
+    def test_register_backend_round_trip(self, fake_backend):
+        assert resolve_backend("fake") is fake_backend
+        assert resolve_backend("fake").name == "fake"
+
+
+class TestEagerResolveInConfigs:
+    """Backend failures must surface at construction, not mid-batch."""
+
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ProposedScEngine(n_bits=8, backend="tensorflow")
+
+    def test_parallel_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ParallelConfig(workers=0, backend="tensorflow")
+
+    @pytest.mark.skipif(torch_available(), reason="needs torch absent")
+    def test_engine_fails_fast_when_torch_absent(self):
+        with pytest.raises(BackendUnavailableError):
+            ProposedScEngine(n_bits=8, backend="torch")
+
+    @pytest.mark.skipif(torch_available(), reason="needs torch absent")
+    def test_parallel_config_fails_fast_when_torch_absent(self):
+        with pytest.raises(BackendUnavailableError):
+            ParallelConfig(workers=2, backend="torch")
+
+    def test_engine_numpy_backend_is_default_result(self, rng):
+        w = rng.normal(0.0, 0.3, size=(4, 9))
+        x = rng.normal(0.0, 0.3, size=(9, 5))
+        assert np.array_equal(
+            ProposedScEngine(n_bits=8).matmul(w, x),
+            ProposedScEngine(n_bits=8, backend="numpy").matmul(w, x),
+        )
+
+
+class TestServeConfigNarrowing:
+    def _config(self, **kw):
+        from repro.serve.http import ServerConfig
+
+        return ServerConfig(**kw)
+
+    def test_scalar_workers_broadcast(self):
+        config = self._config(replicas=3, workers=2)
+        assert config.workers_per_replica() == [2, 2, 2]
+
+    def test_comma_list_workers(self):
+        config = self._config(replicas=3, workers="2,0,4")
+        assert config.workers_per_replica() == [2, 0, 4]
+
+    def test_comma_list_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="replicas=3"):
+            self._config(replicas=3, workers="2,0").workers_per_replica()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            self._config(replicas=2, workers="2,-1").workers_per_replica()
+
+    def test_backend_broadcast_and_list(self):
+        assert self._config(replicas=2).backends_per_replica() == [None, None]
+        assert self._config(replicas=2, backend="numpy").backends_per_replica() == [
+            "numpy",
+            "numpy",
+        ]
+        config = self._config(replicas=2, backend="numpy,torch")
+        assert config.backends_per_replica() == ["numpy", "torch"]
+
+    def test_backend_list_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="replicas=3"):
+            self._config(replicas=3, backend="numpy,torch").backends_per_replica()
+
+
+class TestKernelDispatchParity:
+    """The fake backend must be bit-exact with the numpy fast path."""
+
+    def test_stream_matrix(self, fake_backend, rng):
+        for n_bits in (2, 4, 8):
+            values = rng.integers(0, 1 << n_bits, size=17)
+            length = 3 * (1 << n_bits) // 2 + 1
+            ref = stream_matrix(values, length, n_bits)
+            got = stream_matrix(values, length, n_bits, backend=fake_backend)
+            assert np.array_equal(ref, got)
+            assert np.array_equal(ref, stream_matrix(values, length, n_bits, backend="fake"))
+
+    def test_select_schedule(self, fake_backend):
+        for n_bits in (2, 5):
+            ref = select_schedule(3 * (1 << n_bits) + 1, n_bits)
+            got = select_schedule(3 * (1 << n_bits) + 1, n_bits, backend=fake_backend)
+            assert np.array_equal(ref, got)
+
+    def test_mvm_mac_kernel(self, fake_backend, rng):
+        n_bits, p = 8, 9
+        half = 1 << (n_bits - 1)
+        lo, hi = -(1 << (n_bits + 1)), (1 << (n_bits + 1)) - 1
+        acc = rng.integers(lo // 2, hi // 2, size=p)
+        offsets = rng.integers(0, 1 << n_bits, size=p)
+        for w_int in (-37, 0, 91):
+            ref = mvm_mac_kernel(acc, w_int, offsets, n_bits, lo, hi)
+            got = mvm_mac_kernel(acc, w_int, offsets, n_bits, lo, hi, backend=fake_backend)
+            assert np.array_equal(ref, got)
+
+    def test_truncated_matmul_kernel(self, fake_backend, rng):
+        n = 8
+        half = 1 << (n - 1)
+        w = rng.integers(-half, half, size=(5, 7))
+        x = rng.integers(-half, half, size=(7, 4))
+        for rescale in (False, True):
+            ref = truncated_matmul_kernel(w, x, n, 3, rescale)
+            got = truncated_matmul_kernel(w, x, n, 3, rescale, backend=fake_backend)
+            if rescale:
+                assert np.allclose(ref, got, rtol=1e-12, atol=1e-9)
+            else:
+                assert np.array_equal(ref, got)
+
+    def test_core_sc_matmul(self, fake_backend, rng):
+        n_bits = 8
+        half = 1 << (n_bits - 1)
+        w = rng.integers(-half, half, size=(4, 11))
+        x = rng.integers(-half, half, size=(11, 6))
+        for saturate in ("final", "term", None):
+            ref = sc_matmul(w, x, n_bits, 2, saturate=saturate)
+            got = sc_matmul(w, x, n_bits, 2, saturate=saturate, backend=fake_backend)
+            assert np.array_equal(ref, got)
+
+    def test_schedule_cache_sc_matmul(self, fake_backend, rng):
+        n_bits = 8
+        half = 1 << (n_bits - 1)
+        cache = ScheduleCache()
+        w = rng.integers(-half, half, size=(4, 11))
+        for _ in range(3):  # repeat: second call uses the memoized device arrays
+            x = rng.integers(-half, half, size=(11, 6))
+            ref = sc_matmul(w, x, n_bits, 2)
+            assert np.array_equal(ref, cache.sc_matmul(w, x, n_bits, 2, backend=fake_backend))
+            assert np.array_equal(ref, cache.sc_matmul(w, x, n_bits, 2))  # numpy path too
+
+    def test_schedule_cache_device_arrays_bounded(self, fake_backend, rng):
+        cache = ScheduleCache(max_layers=2)
+        for i in range(6):
+            w = rng.integers(-8, 8, size=(3, 5)) + i * 0  # distinct content each loop
+            w[0, 0] = i - 8
+            x = rng.integers(-8, 8, size=(5, 4))
+            cache.sc_matmul(w, x, 4, 2, backend=fake_backend)
+        assert len(cache._device_arrays) <= 4 * cache.max_layers
+
+    def test_engine_matmul_with_fake_backend(self, fake_backend, rng):
+        w = rng.normal(0.0, 0.3, size=(5, 12))
+        x = rng.normal(0.0, 0.3, size=(12, 7))
+        for factory in (ProposedScEngine, TruncatedScEngine):
+            ref = factory(n_bits=8).matmul(w, x)
+            got = factory(n_bits=8, backend="fake").matmul(w, x)
+            assert np.array_equal(ref, got)
+
+
+class TestServingPlumbing:
+    def test_pool_describe_reports_backend(self):
+        from repro.parallel.engine import BatchInferenceEngine
+        from repro.serve.pool import EnginePool
+
+        from tests.parallel.test_batch_parity import small_net
+
+        engines = [
+            BatchInferenceEngine(small_net(), ParallelConfig(workers=0, batch_size=4)),
+            BatchInferenceEngine(
+                small_net(), ParallelConfig(workers=0, batch_size=4, backend="numpy")
+            ),
+        ]
+        pool = EnginePool(engines)
+        docs = pool.describe()
+        assert [doc["backend"] for doc in docs] == ["numpy", "numpy"]
+        assert all(doc["workers"] == 0 for doc in docs)
+
+    def test_backend_info_metric_renders(self):
+        from repro.serve.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.attach_replica("r0", backend="numpy")
+        metrics.attach_replica("r1", backend="torch:cuda:0")
+        text = metrics.render()
+        assert 'repro_backend_info{replica="r0",backend="numpy"} 1' in text
+        assert 'repro_backend_info{replica="r1",backend="torch:cuda:0"} 1' in text

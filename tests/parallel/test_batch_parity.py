@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backend import torch_available
 from repro.core.mvm import sc_matmul
 from repro.nn import attach_engines, build_mnist_net
 from repro.nn.calibration import LayerRanges
@@ -30,6 +31,14 @@ from repro.parallel import (
 )
 
 POOL_WORKERS = (1, 2, 4)
+
+#: backend axis: numpy always, torch when installed (CI backend-torch job)
+BACKENDS = [
+    "numpy",
+    pytest.param(
+        "torch", marks=pytest.mark.skipif(not torch_available(), reason="torch not installed")
+    ),
+]
 
 
 def small_net(seed: int = 3):
@@ -243,6 +252,51 @@ def test_pool_without_cache_is_still_exact(net, images):
     expected = serial_logits(net, images, 4)
     config = ParallelConfig(workers=2, batch_size=4, use_cache=False)
     assert np.array_equal(expected, predict_logits(net, images, config))
+
+
+# -- backend axis (numpy always; torch in the CI backend-torch job) -------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cached_matmul_backend_parity(backend, rng):
+    """ScheduleCache dispatch on any backend == the uncached numpy core."""
+    cache = ScheduleCache()
+    w = rng.integers(-128, 128, size=(6, 14))
+    for _ in range(2):  # second pass exercises the device-array memo
+        x = rng.integers(-128, 128, size=(14, 9))
+        expected = sc_matmul(w, x, 8, 2)
+        assert np.array_equal(expected, cache.sc_matmul(w, x, 8, 2, backend=backend))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_inproc_sharded_backend_parity(backend, rng):
+    engine = ProposedScEngine(n_bits=8)
+    w = rng.normal(0.0, 0.3, size=(6, 14))
+    x = rng.normal(0.0, 0.3, size=(14, 9))
+    expected = engine.matmul(w, x)
+    config = ParallelConfig(workers=0, batch_size=3, tile_size=4, backend=backend)
+    assert np.array_equal(expected, parallel_matmul(engine, w, x, config))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pool_network_backend_parity(net, images, backend):
+    """Worker processes resolve the backend spec and stay bit-exact."""
+    expected = serial_logits(net, images, 4)
+    config = ParallelConfig(workers=2, batch_size=4, backend=backend)
+    assert np.array_equal(expected, predict_logits(net, images, config))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_network_predict_backend_kwarg(net, images, backend):
+    serial = net.predict(images, batch=4)
+    assert np.array_equal(serial, net.predict(images, batch=4, backend=backend))
+
+
+def test_backend_override_leaves_engines_untouched_inproc(net, images):
+    """The in-proc attach must restore engine.backend after the run."""
+    before = [conv.engine.backend for conv in net.conv_layers]
+    predict_logits(net, images, ParallelConfig(workers=0, batch_size=4, backend="numpy"))
+    assert [conv.engine.backend for conv in net.conv_layers] == before
 
 
 def test_engine_pickle_drops_cache():
