@@ -27,14 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.fsm_generator import coefficient_vector
-from repro.sc.ed import even_distribution_stream
 from repro.sc.encoding import bits_msb_first
-from repro.sc.halton import halton_int_sequence
-from repro.sc.lfsr import Lfsr
-from repro.sc.multipliers import (
-    pairwise_partial_counts_from_streams,
-    select_low_bias_seeds,
-)
+from repro.sc.multipliers import pairwise_partial_counts_from_streams
 
 __all__ = [
     "ErrorStats",
@@ -110,30 +104,21 @@ def proposed_error_stats(n_bits: int, checkpoints: np.ndarray | None = None) -> 
 
 
 def _stream_matrix(method: str, n_bits: int, operand: str, length: int) -> np.ndarray:
-    """Stream bits for every offset word, shape ``(2**N, length)``."""
-    size = 1 << n_bits
-    offsets = np.arange(size, dtype=np.int64)
-    if method == "lfsr":
-        seed_w, seed_x = select_low_bias_seeds(n_bits)
-        lfsr = Lfsr(
-            n_bits,
-            seed=seed_w if operand == "w" else seed_x,
-            alternate=(operand == "x"),
-        )
-        rand = lfsr.sequence(length)
-        return (rand[None, :] < offsets[:, None]).astype(np.int64)
-    if method == "halton":
-        base = 3 if operand == "w" else 2  # paper footnote 3
-        rand = halton_int_sequence(length, base, n_bits)
-        return (rand[None, :] < offsets[:, None]).astype(np.int64)
-    if method == "ed":
-        if operand == "w":
-            return np.stack(
-                [even_distribution_stream(int(v), n_bits, length) for v in offsets]
-            )
-        rand = Lfsr(n_bits, seed=1, alternate=True).sequence(length)
-        return (rand[None, :] < offsets[:, None]).astype(np.int64)
-    raise ValueError(f"unknown conventional method {method!r}")
+    """Stream bits for every offset word, shape ``(2**N, length)``.
+
+    Delegated to the SNG registry (:mod:`repro.sc.generators`): any
+    registered family — including the MIP-synthesized tables and the
+    parallel bitstream generator — sweeps through the Fig. 5 harness
+    with no code here.  The historical lfsr/halton/ed recipes are the
+    registry families of the same names, bit-identical.
+    """
+    from repro.sc.generators import resolve_generator
+
+    try:
+        family = resolve_generator(method)
+    except ValueError:
+        raise ValueError(f"unknown conventional method {method!r}") from None
+    return family.stream_matrix(n_bits, operand, length=length)
 
 
 def conventional_error_stats(

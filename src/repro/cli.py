@@ -8,6 +8,7 @@ Commands
 ``serve``      async HTTP inference service (micro-batching + /metrics)
 ``rtl``        emit the Verilog RTL project
 ``backends``   tensor-backend availability/device probe
+``generators`` SNG generator-family registry probe
 ``info``       version, experiment list, benchmark specs
 ``cache``      inspect/verify/clear the checkpoint artifact store;
                ``cache compile``/``cache inspect`` manage the
@@ -87,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(see `repro backends`)",
     )
     p_inf.add_argument(
+        "--generator",
+        default=None,
+        help="SNG family for conventional-SC engines: lfsr (default), halton, "
+        "ed, mip, parallel (see `repro generators`)",
+    )
+    p_inf.add_argument(
         "--check", action="store_true", help="verify bit-exactness against the serial path"
     )
     p_inf.add_argument("--repeats", type=int, default=1, help="timed repeats (min is kept)")
@@ -113,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tensor backend per replica: numpy (default), torch, torch:cuda, "
         "auto; a comma list like torch,numpy assigns per replica",
+    )
+    p_srv.add_argument(
+        "--generator",
+        default=None,
+        help="default SNG family for conventional-SC engines; requests may "
+        "override per call with the JSON `generator` field",
     )
     p_srv.add_argument("--max-batch", type=int, default=32, help="images per coalesced batch")
     p_srv.add_argument(
@@ -223,6 +236,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("backends", help="tensor-backend availability and device probe")
 
+    sub.add_parser("generators", help="SNG generator-family registry probe")
+
     sub.add_parser("info", help="version and available experiments")
 
     p_cache = sub.add_parser("cache", help="inspect the checkpoint artifact store")
@@ -309,22 +324,25 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.parallel import ParallelConfig
 
     spec = DIGITS_QUICK_SPEC if args.benchmark == "digits" else SHAPES_QUICK_SPEC
-    if args.workers is None and args.backend is None:
+    if args.workers is None and args.backend is None and args.generator is None:
         parallelism = None
         mode = "serial reference"
     else:
-        # --backend alone runs the in-process sharded path (workers=0)
-        # so the backend override has a config to ride on
+        # --backend/--generator alone run the in-process sharded path
+        # (workers=0) so the override has a config to ride on
         workers = args.workers or 0
         parallelism = ParallelConfig(
             workers=workers,
             batch_size=args.batch,
             use_cache=not args.no_cache,
             backend=args.backend,
+            generator=args.generator,
         )
         mode = f"workers={workers} batch={args.batch} cache={not args.no_cache}"
         if args.backend:
             mode += f" backend={args.backend}"
+        if args.generator:
+            mode += f" generator={args.generator}"
     result = measure_throughput(
         spec,
         engine=args.engine,
@@ -374,6 +392,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_retries=args.shard_retries,
         precompile=not args.no_precompile,
         backend=args.backend,
+        generator=args.generator,
     )
     return run_server(config)
 
@@ -538,6 +557,18 @@ def _cmd_backends(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_generators(_: argparse.Namespace) -> int:
+    from repro.sc.generators import list_generators
+
+    rows = list_generators()
+    width = max(len(r.spec) for r in rows)
+    for r in rows:
+        status = "available" if r.available else "unavailable"
+        detail = f"  ({r.detail})" if r.detail else ""
+        print(f"{r.spec:{width}s}  {status:11s}{detail}")
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro
     from repro.experiments.common import DIGITS_SPEC, SHAPES_SPEC
@@ -558,6 +589,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "rtl": _cmd_rtl,
         "backends": _cmd_backends,
+        "generators": _cmd_generators,
         "info": _cmd_info,
         "cache": _cmd_cache,
     }

@@ -76,6 +76,7 @@ class ThroughputResult:
     images_per_sec: float
     bit_exact: bool | None = None
     mismatch: dict | None = None
+    generator: str = "lfsr"
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -163,10 +164,12 @@ def measure_throughput(
     model, x = _workload(spec, engine, n_bits, n_images)
     if parallelism is None:
         workers, batch_size, use_cache, backend = -1, 0, False, "numpy"
+        generator = None
     else:
         config = resolve_parallelism(parallelism)
         workers, batch_size, use_cache = config.workers, config.batch_size, config.use_cache
         backend = config.backend or "numpy"
+        generator = config.generator
     best = float("inf")
     pred = None
     for _ in range(max(1, repeats)):
@@ -176,7 +179,12 @@ def measure_throughput(
     bit_exact = None
     mismatch = None
     if check:
-        serial = model.net.predict(x, batch=batch_size or x.shape[0] or 1)
+        # The parity claim is "sharded == serial at the same arithmetic":
+        # a generator override changes the arithmetic, so the serial
+        # reference must run under the very same SNG family.
+        serial = model.net.predict(
+            x, batch=batch_size or x.shape[0] or 1, generator=generator
+        )
         mismatch = prediction_mismatch(pred, serial)
         bit_exact = mismatch is None
     model.restore_float()
@@ -193,6 +201,7 @@ def measure_throughput(
         images_per_sec=n_images / best if best > 0 else float("inf"),
         bit_exact=bit_exact,
         mismatch=mismatch,
+        generator=generator or "lfsr",
     )
 
 

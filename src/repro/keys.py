@@ -28,6 +28,7 @@ __all__ = [
     "bit_table_key",
     "select_key",
     "ud_table_key",
+    "sng_ud_table_key",
     "orbit_key",
 ]
 
@@ -93,6 +94,19 @@ def ud_table_key(
     return content_key(
         "ud-table", int(n_bits), int(seed_w), int(seed_x), tuple(taps_w), tuple(taps_x)
     )
+
+
+def sng_ud_table_key(n_bits: int, fingerprint: tuple) -> str:
+    """Key of a generator-built XNOR up/down table.
+
+    ``fingerprint`` is the registered SNG family's content fingerprint
+    (:meth:`repro.sc.generators.SngFamily.fingerprint`) — family key
+    plus whatever pins its sequences (table versions, lane layout,
+    seeds) — so a family revision can never serve a stale table.  The
+    default shared-LFSR pair keeps its dedicated :func:`ud_table_key`
+    so existing compiled artifacts stay byte-identical.
+    """
+    return content_key("sng-ud-table", int(n_bits), tuple(fingerprint))
 
 
 def orbit_key(n_bits: int, taps: tuple[int, ...]) -> str:

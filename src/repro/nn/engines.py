@@ -62,6 +62,14 @@ class MatmulEngine:
     (:class:`ProposedScEngine`, :class:`TruncatedScEngine`) dispatch on
     it; the float/fixed/LFSR baselines ignore it and stay on numpy
     (their loops are host-bound, not GEMM-bound).
+
+    ``generator`` selects the SNG family (:mod:`repro.sc.generators`
+    registry key) feeding the conventional SC path; like ``backend`` it
+    is a spec string resolved per process.  ``None`` and ``"lfsr"``
+    both keep the shared-LFSR fast path byte-identical.  Engines
+    without stochastic number sources (float/fixed/proposed — the
+    proposed multiplier is deterministic by construction) carry the
+    field but ignore it.
     """
 
     n_bits: int = 8
@@ -70,6 +78,7 @@ class MatmulEngine:
     x_scale: float = 1.0
     saturate: str | None = "final"
     backend: str | None = None
+    generator: str | None = None
 
     #: short identifier used by experiment tables
     name: str = "base"
@@ -85,6 +94,11 @@ class MatmulEngine:
             from repro.backend import resolve_backend
 
             resolve_backend(self.backend)
+        if self.generator is not None:
+            # same fail-fast contract as backend specs
+            from repro.sc.generators import resolve_generator
+
+            resolve_generator(self.generator)
 
     # -- helpers shared by integer engines --------------------------------
     def _quantize(self, w: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -183,6 +197,12 @@ class LfsrScEngine(MatmulEngine):
     :class:`~repro.parallel.cache.ScheduleCache` when ``cache`` is set —
     including out of a precompiled artifact.  Neither the cache nor the
     table survives pickling, so spawning a pool ships only the seeds.
+
+    When ``generator`` names a non-default registry family, the table
+    is instead built from that family's stream matrices
+    (:func:`repro.sc.generators.generator_ud_table`); the memo carries
+    the generator tag so a per-request or per-worker override rebuilds
+    rather than serving a stale family's table.
     """
 
     def __init__(
@@ -204,21 +224,37 @@ class LfsrScEngine(MatmulEngine):
         self.seed_x = int(seed_x)
         self.cache = cache
         self._ud_table: np.ndarray | None = None
+        self._ud_table_gen: str | None = None
+
+    @property
+    def _generator_key(self) -> str | None:
+        """Non-default generator spec, or ``None`` for the LFSR fast path."""
+        return self.generator if self.generator not in (None, "lfsr") else None
 
     @property
     def ud_table(self) -> np.ndarray:
         """Up/down count per pair == 2 * product in output LSBs (lazy)."""
-        if self._ud_table is None:
-            if self.cache is not None:
+        gen = self._generator_key
+        if self._ud_table is None or self._ud_table_gen != gen:
+            if gen is not None:
+                if self.cache is not None:
+                    self._ud_table = self.cache.sng_ud_table(gen, self.n_bits)
+                else:
+                    from repro.sc.generators import generator_ud_table
+
+                    self._ud_table = generator_ud_table(gen, self.n_bits)
+            elif self.cache is not None:
                 self._ud_table = self.cache.ud_table(self.n_bits, self.seed_w, self.seed_x)
             else:
                 self._ud_table = lfsr_ud_table(self.n_bits, self.seed_w, self.seed_x)
+            self._ud_table_gen = gen
         return self._ud_table
 
     def __getstate__(self):
         state = dict(self.__dict__)
         state["cache"] = None
         state["_ud_table"] = None
+        state["_ud_table_gen"] = None
         return state
 
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:

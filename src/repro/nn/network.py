@@ -46,7 +46,8 @@ class Network:
 
     # -- inference ----------------------------------------------------------
     def predict(
-        self, x: np.ndarray, batch: int = 256, parallelism=None, backend=None
+        self, x: np.ndarray, batch: int = 256, parallelism=None, backend=None,
+        generator=None,
     ) -> np.ndarray:
         """Predicted class indices, evaluated in batches.
 
@@ -60,8 +61,13 @@ class Network:
         conv engines dispatch on for this call (a spec string like
         ``"torch"``; ``None`` = leave engines as constructed).  Results
         are bit-exact across backends for the SC engines.
+
+        ``generator`` selects the SNG family (a
+        :mod:`repro.sc.generators` registry key like ``"mip"``) the
+        conventional-SC engines draw their bitstreams from for this
+        call; ``None`` keeps each engine's configured family.
         """
-        if backend is not None:
+        if backend is not None or generator is not None:
             import dataclasses
 
             from repro.parallel import ParallelConfig, resolve_parallelism
@@ -69,10 +75,17 @@ class Network:
             if parallelism is None:
                 # preserve the serial path's chunking: the float dense
                 # head is summation-order-sensitive to the batch size
-                parallelism = ParallelConfig(workers=0, batch_size=batch, backend=backend)
+                parallelism = ParallelConfig(
+                    workers=0, batch_size=batch, backend=backend, generator=generator
+                )
             else:
+                overrides = {}
+                if backend is not None:
+                    overrides["backend"] = backend
+                if generator is not None:
+                    overrides["generator"] = generator
                 parallelism = dataclasses.replace(
-                    resolve_parallelism(parallelism), backend=backend
+                    resolve_parallelism(parallelism), **overrides
                 )
         if parallelism is not None:
             from repro.parallel import predict_batched
@@ -86,10 +99,13 @@ class Network:
 
     def accuracy(
         self, x: np.ndarray, labels: np.ndarray, batch: int = 256,
-        parallelism=None, backend=None,
+        parallelism=None, backend=None, generator=None,
     ) -> float:
         """Top-1 accuracy on the given set."""
-        pred = self.predict(x, batch=batch, parallelism=parallelism, backend=backend)
+        pred = self.predict(
+            x, batch=batch, parallelism=parallelism, backend=backend,
+            generator=generator,
+        )
         return float((pred == np.asarray(labels)).mean())
 
     # -- parameters -----------------------------------------------------------

@@ -43,7 +43,13 @@ from repro.core.accumulator import check_acc_bits
 from repro.core.fsm_generator import coefficient_vector
 from repro.core.kernels import _resolve, select_schedule
 from repro.core.mvm import sc_matmul
-from repro.keys import bit_table_key, layer_digest, select_key, ud_table_key
+from repro.keys import (
+    bit_table_key,
+    layer_digest,
+    select_key,
+    sng_ud_table_key,
+    ud_table_key,
+)
 from repro.sc.encoding import bits_msb_first, signed_range, to_offset_binary
 from repro.sc.lfsr import _ALT_TAPS, MAXIMAL_TAPS
 
@@ -187,6 +193,42 @@ class ScheduleCache:
         from repro.sc.multipliers import lfsr_ud_table
 
         table = lfsr_ud_table(n_bits, seed_w, seed_x)
+        self._ud_tables[key] = table
+        return table
+
+    def sng_ud_table(self, generator: str, n_bits: int) -> np.ndarray:
+        """Generator-built XNOR up/down table (non-default SNG families).
+
+        Same contract and bookkeeping as :meth:`ud_table`, keyed by the
+        registered family's content fingerprint via
+        :func:`repro.keys.sng_ud_table_key`, so compiled artifacts and
+        the in-process memo agree across family revisions.
+        """
+        if self._poisoned:
+            raise CachePoisonedError("schedule cache was poisoned; drop and rebuild")
+        from repro.sc.generators import generator_fingerprint, generator_ud_table
+
+        key = sng_ud_table_key(n_bits, generator_fingerprint(generator, n_bits))
+        table = self._ud_tables.get(key)
+        if table is not None:
+            self.hits += 1
+            if self.hook is not None:
+                self.hook("hit")
+            return table
+        side = (1 << n_bits) + 1
+        table = self._compiled_get(key, (side, side), np.int64)
+        if table is not None:
+            self.hits += 1
+            self.compiled_hits += 1
+            if self.hook is not None:
+                self.hook("hit")
+            return table
+        self.misses += 1
+        self.rebuilds += 1
+        if self.hook is not None:
+            self.hook("miss")
+        table = generator_ud_table(generator, n_bits)
+        table.setflags(write=False)
         self._ud_tables[key] = table
         return table
 

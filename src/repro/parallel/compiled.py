@@ -43,7 +43,14 @@ from typing import Any, Iterable, Iterator
 import numpy as np
 
 from repro.errors import ArtifactVersionError
-from repro.keys import bit_table_key, layer_digest, orbit_key, select_key, ud_table_key
+from repro.keys import (
+    bit_table_key,
+    layer_digest,
+    orbit_key,
+    select_key,
+    sng_ud_table_key,
+    ud_table_key,
+)
 from repro.parallel.cache import ScheduleCache
 from repro.sc.encoding import quantize_signed
 from repro.sc.lfsr import _ALT_TAPS, MAXIMAL_TAPS, orbit_table
@@ -304,6 +311,21 @@ def _quantized_weights(w2d: np.ndarray, engine) -> np.ndarray:
     return quantize_signed(w, engine.n_bits)
 
 
+def _engine_generator(engine) -> str | None:
+    """Non-default SNG registry key of a conventional-SC engine, if any."""
+    gen = getattr(engine, "generator", None)
+    return gen if gen not in (None, "lfsr") else None
+
+
+def _sng_keys(engine, gen: str) -> list[tuple[str, str, dict[str, Any]]]:
+    """Artifact entries for a registry-generator up/down table."""
+    from repro.sc.generators import generator_fingerprint
+
+    n = int(engine.n_bits)
+    key = sng_ud_table_key(n, generator_fingerprint(gen, n))
+    return [(key, "ud-table", {"n_bits": n, "generator": gen})]
+
+
 def _lfsr_keys(engine) -> list[tuple[str, str, dict[str, Any]]]:
     n = int(engine.n_bits)
     taps_w, taps_x = MAXIMAL_TAPS[n], _ALT_TAPS[n]
@@ -333,7 +355,9 @@ def schedule_manifest(net) -> tuple[list[str], dict[str, Any]]:
     for w2d, engine in _iter_engines(net):
         engines.add(getattr(engine, "name", type(engine).__name__))
         if hasattr(engine, "seed_w"):  # conventional-SC: table + orbits
-            needed.extend(key for key, _, _ in _lfsr_keys(engine))
+            gen = _engine_generator(engine)
+            keys = _sng_keys(engine, gen) if gen else _lfsr_keys(engine)
+            needed.extend(key for key, _, _ in keys)
             continue
         if not hasattr(engine, "cache"):  # float/fixed: nothing to compile
             continue
@@ -360,6 +384,15 @@ def compile_network_schedules(net) -> tuple[list[ScheduleEntry], dict[str, Any]]
     for w2d, engine in _iter_engines(net):
         n = int(engine.n_bits)
         if hasattr(engine, "seed_w"):
+            gen = _engine_generator(engine)
+            if gen:
+                from repro.sc.generators import generator_ud_table
+
+                ud_key, ud_kind, ud_params = _sng_keys(engine, gen)[0]
+                entries.append(
+                    ScheduleEntry(ud_key, ud_kind, ud_params, generator_ud_table(gen, n))
+                )
+                continue
             from repro.sc.multipliers import lfsr_ud_table
 
             keys = _lfsr_keys(engine)
@@ -398,9 +431,20 @@ def compile_network_schedules(net) -> tuple[list[ScheduleEntry], dict[str, Any]]
     return entries, meta
 
 
-def schedule_artifact_key(benchmark: str, engine: str, n_bits: int) -> str:
-    """Store key of the compiled artifact for one (model, engine) pair."""
-    return f"sched-{benchmark}-{engine}-n{int(n_bits)}"
+def schedule_artifact_key(
+    benchmark: str, engine: str, n_bits: int, generator: str | None = None
+) -> str:
+    """Store key of the compiled artifact for one (model, engine) pair.
+
+    A non-default SNG ``generator`` joins the key so artifacts compiled
+    for different families never collide; the default (``None`` /
+    ``"lfsr"``) keeps the historical key and existing artifacts stay
+    byte-identical.
+    """
+    base = f"sched-{benchmark}-{engine}-n{int(n_bits)}"
+    if generator in (None, "lfsr"):
+        return base
+    return f"{base}-g{generator}"
 
 
 def ensure_compiled(net, store=None, key: str = "schedules") -> CompiledSchedules:

@@ -53,7 +53,7 @@ import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -104,6 +104,12 @@ class ParallelConfig:
     call (``None`` = leave engines as constructed).  Only the *string*
     crosses process boundaries — each worker resolves it locally, so
     device handles never ride the pickle or shm path.
+
+    ``generator`` overrides the SNG family (:mod:`repro.sc.generators`
+    registry key) of every dispatched conventional-SC engine the same
+    way: a spec string, resolved per process, ``None`` = leave engines
+    as constructed.  Engines without a stochastic number source ignore
+    the override.
     """
 
     workers: int = 0
@@ -113,6 +119,7 @@ class ParallelConfig:
     use_cache: bool = True
     retry: RetryPolicy = RetryPolicy()
     backend: str | None = None
+    generator: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -124,6 +131,12 @@ class ParallelConfig:
             from repro.backend import resolve_backend
 
             resolve_backend(self.backend)
+        if self.generator is not None:
+            # same fail-fast contract: an unknown generator spec should
+            # never be discovered inside a pool worker
+            from repro.sc.generators import resolve_generator
+
+            resolve_generator(self.generator)
 
     def context(self):
         """The multiprocessing context for this configuration."""
@@ -341,6 +354,7 @@ def predict_logits(net, x: np.ndarray, parallelism=None) -> np.ndarray:
             config.use_cache,
             _share_compiled(pool, config),
             config.backend,
+            config.generator,
         )
 
     return _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -433,6 +447,7 @@ def predict_logits_grouped(net, xs, parallelism=None) -> list[np.ndarray]:
             config.use_cache,
             _share_compiled(pool, config),
             config.backend,
+            config.generator,
         )
 
     result = _run_sharded_pool(config, shards, _worker.run_network_shard, populate)
@@ -479,6 +494,7 @@ def parallel_matmul(engine, w: np.ndarray, x: np.ndarray, parallelism=None) -> n
             config.use_cache,
             _share_compiled(pool, config),
             config.backend,
+            config.generator,
         )
 
     return _run_sharded_pool(config, shards, _worker.run_matmul_shard, populate)
@@ -516,6 +532,9 @@ def _attach_caches_inproc(net, config: ParallelConfig):
         if config.backend is not None and hasattr(engine, "backend"):
             undos.append((engine, "backend", engine.backend))
             engine.backend = config.backend
+        if config.generator is not None and hasattr(engine, "generator"):
+            undos.append((engine, "generator", engine.generator))
+            engine.generator = config.generator
     return lambda: [setattr(e, attr, prev) for e, attr, prev in undos]
 
 
@@ -527,6 +546,9 @@ def _attach_engine_cache_inproc(engine, config: ParallelConfig):
     if config.backend is not None and hasattr(engine, "backend"):
         undos.append((engine, "backend", engine.backend))
         engine.backend = config.backend
+    if config.generator is not None and hasattr(engine, "generator"):
+        undos.append((engine, "generator", engine.generator))
+        engine.generator = config.generator
     return lambda: [setattr(e, attr, prev) for e, attr, prev in undos]
 
 
@@ -580,12 +602,21 @@ class BatchInferenceEngine:
         self._notify(int(np.asarray(x).shape[0]), time.perf_counter() - t0)
         return out
 
-    def logits_grouped(self, xs) -> list[np.ndarray]:
-        """Per-request logits for a coalesced group (micro-batching)."""
+    def logits_grouped(self, xs, generator: str | None = None) -> list[np.ndarray]:
+        """Per-request logits for a coalesced group (micro-batching).
+
+        ``generator`` overrides the SNG family for this one group (the
+        serving plane's per-request ``generator=`` field lands here);
+        ``None`` keeps the engine's configured family.  The override
+        rides the config copy only — the engine's own config is never
+        mutated, so concurrent groups with different generators are
+        safe.
+        """
         if _faults.enabled():
             _faults.fire("engine.dispatch", key=self._dispatch_key("grouped"))
+        config = self.config if generator is None else replace(self.config, generator=generator)
         t0 = time.perf_counter()
-        out = predict_logits_grouped(self.net, xs, self.config)
+        out = predict_logits_grouped(self.net, xs, config)
         n = sum(int(np.asarray(x).shape[0]) for x in xs)
         self._notify(n, time.perf_counter() - t0)
         return out

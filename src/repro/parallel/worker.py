@@ -234,6 +234,23 @@ def _apply_backend_override(engines, backend: str | None) -> None:
             engine.backend = backend
 
 
+def _apply_generator_override(engines, generator: str | None) -> None:
+    """Point SNG-aware engines at ``generator`` (a registry spec string).
+
+    Mirrors :func:`_apply_backend_override`: resolved once, loudly, at
+    worker init, so an unknown family key fails the pool spawn in the
+    parent rather than every shard.
+    """
+    if generator is None:
+        return
+    from repro.sc.generators import resolve_generator
+
+    resolve_generator(generator)
+    for engine in engines:
+        if hasattr(engine, "generator"):
+            engine.generator = generator
+
+
 def init_network_worker(
     skel,
     weight_specs: list[SharedArraySpec],
@@ -242,6 +259,7 @@ def init_network_worker(
     use_cache: bool,
     sched_spec: SharedArraySpec | None = None,
     backend: str | None = None,
+    generator: str | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -258,6 +276,7 @@ def init_network_worker(
     if use_cache:
         attach_engine_caches(skel)
     _apply_backend_override((conv.engine for conv in skel.conv_layers), backend)
+    _apply_generator_override((conv.engine for conv in skel.conv_layers), generator)
     _STATE["net"] = skel
     _STATE["use_cache"] = use_cache
     _STATE["x"] = SharedArrayView(x_spec)
@@ -300,6 +319,7 @@ def init_matmul_worker(
     use_cache: bool,
     sched_spec: SharedArraySpec | None = None,
     backend: str | None = None,
+    generator: str | None = None,
     fault_plan: FaultPlan | None = None,
     wave: int = 0,
 ) -> None:
@@ -312,6 +332,7 @@ def init_matmul_worker(
     if use_cache and hasattr(engine, "cache"):
         engine.cache = get_worker_cache()
     _apply_backend_override((engine,), backend)
+    _apply_generator_override((engine,), generator)
     _STATE["engine"] = engine
     _STATE["use_cache"] = use_cache
     _STATE["w"] = SharedArrayView(w_spec)

@@ -2,8 +2,10 @@
 
 This subpackage implements everything the paper treats as "conventional
 SC": fixed-point encodings, stochastic-number bitstreams, random /
-low-discrepancy number sources (LFSR, Halton, even-distribution), SNGs
-(stochastic number generators), and AND/XNOR stream multipliers with
+low-discrepancy number sources (LFSR, Halton, even-distribution,
+MIP-synthesized tables, the parallel bitstream generator), SNGs
+(stochastic number generators) behind the string-keyed registry of
+:mod:`repro.sc.generators`, and AND/XNOR stream multipliers with
 counter-based SN-to-BN conversion.
 
 The proposed multiplier of the paper lives in :mod:`repro.core`; this
@@ -35,6 +37,19 @@ from repro.sc.sng import (
     WbgSng,
     SobolLikeSource,
 )
+from repro.sc.generators import (
+    DEFAULT_GENERATOR,
+    GeneratorInfo,
+    SngFamily,
+    generator_fingerprint,
+    generator_keys,
+    generator_ud_table,
+    list_generators,
+    register_generator,
+    resolve_generator,
+)
+from repro.sc.mip import TableSource, mip_tables, synthesize_mip_tables
+from repro.sc.pbg import PbgSource, default_lanes
 from repro.sc.bitstream import (
     sc_correlation,
     sn_value,
@@ -83,6 +98,20 @@ __all__ = [
     "SobolLikeSource",
     "Sng",
     "WbgSng",
+    "DEFAULT_GENERATOR",
+    "GeneratorInfo",
+    "SngFamily",
+    "register_generator",
+    "resolve_generator",
+    "generator_keys",
+    "list_generators",
+    "generator_fingerprint",
+    "generator_ud_table",
+    "TableSource",
+    "mip_tables",
+    "synthesize_mip_tables",
+    "PbgSource",
+    "default_lanes",
     "sn_value",
     "sc_correlation",
     "stream_from_probability",

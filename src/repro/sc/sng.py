@@ -37,7 +37,43 @@ __all__ = [
     "Sng",
     "WbgSng",
     "comparator_stream",
+    # generator registry (lazily re-exported from repro.sc.generators)
+    "DEFAULT_GENERATOR",
+    "GeneratorInfo",
+    "SngFamily",
+    "register_generator",
+    "resolve_generator",
+    "generator_keys",
+    "list_generators",
+    "generator_fingerprint",
+    "generator_ud_table",
 ]
+
+#: Registry names served via module ``__getattr__`` (PEP 562) so that
+#: ``repro.sc.sng`` stays the one import surface for SNG machinery
+#: without a circular import (:mod:`repro.sc.generators` imports the
+#: sources defined below).
+_REGISTRY_EXPORTS = frozenset(
+    {
+        "DEFAULT_GENERATOR",
+        "GeneratorInfo",
+        "SngFamily",
+        "register_generator",
+        "resolve_generator",
+        "generator_keys",
+        "list_generators",
+        "generator_fingerprint",
+        "generator_ud_table",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_EXPORTS:
+        from repro.sc import generators
+
+        return getattr(generators, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @runtime_checkable
@@ -191,6 +227,16 @@ class Sng:
         two's-complement integers and are offset-binary converted before
         comparison.
 
+    A hardware shared-source SNG fans one random word out to every
+    comparator, so all streams drawn from one ``Sng`` see the *same*
+    random sequence: two :meth:`generate` calls return streams with the
+    shared-source correlation (their XNOR is the biased shared-LFSR
+    product, not an independent multiply).  Earlier revisions consumed
+    the source on every call, so a second stream silently saw the next
+    window — equivalent to reseeding mid-conversion, which no shared
+    hardware generator does.  :meth:`reset` rewinds the source and
+    starts a fresh window.
+
     >>> sng = Sng(CounterSource(3))
     >>> sng.generate(5, 8).tolist()
     [1, 1, 1, 1, 1, 0, 0, 0]
@@ -199,6 +245,7 @@ class Sng:
     def __init__(self, source: RandomSource, encoding: Encoding = Encoding.UNIPOLAR) -> None:
         self.source = source
         self.encoding = encoding
+        self._window: np.ndarray | None = None
 
     @property
     def n_bits(self) -> int:
@@ -206,17 +253,26 @@ class Sng:
         return self.source.n_bits
 
     def reset(self) -> None:
-        """Rewind the random source."""
+        """Rewind the random source and discard the shared window."""
         self.source.reset()
+        self._window = None
+
+    def _shared_window(self, length: int) -> np.ndarray:
+        """The shared random values every generated stream compares against."""
+        if self._window is None or self._window.size < length:
+            have = 0 if self._window is None else self._window.size
+            ext = self.source.sequence(length - have)
+            self._window = ext if have == 0 else np.concatenate([self._window, ext])
+        return self._window[:length]
 
     def generate(self, value: int, length: int) -> np.ndarray:
-        """Emit the next ``length`` stream bits for ``value``."""
+        """Emit ``length`` stream bits for ``value`` off the shared source."""
         magnitude = (
             to_offset_binary(value, self.n_bits) if self.encoding is BIPOLAR else int(value)
         )
         if not 0 <= magnitude <= (1 << self.n_bits):
             raise ValueError(f"magnitude {magnitude} out of range for {self.n_bits} bits")
-        return comparator_stream(self.source.sequence(length), magnitude)
+        return comparator_stream(self._shared_window(length), magnitude)
 
     def generate_all_values(self, length: int) -> np.ndarray:
         """Stream bits for *every* representable magnitude at once.
@@ -227,6 +283,6 @@ class Sng:
         hardware.  Used by the exhaustive Fig. 5 sweeps.
         """
         self.reset()
-        rand = self.source.sequence(length)
+        rand = self._shared_window(length)
         mags = np.arange((1 << self.n_bits) + 1, dtype=np.int64)
         return (rand[None, :] < mags[:, None]).astype(np.int64)

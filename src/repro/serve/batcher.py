@@ -34,6 +34,8 @@ serialized — the original single-engine behavior.
 from __future__ import annotations
 
 import asyncio
+import functools
+import inspect
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -49,10 +51,22 @@ class _Request:
     x: np.ndarray
     future: asyncio.Future = field(repr=False)
     enqueued_at: float
+    #: per-request execution tag (the serving plane's ``generator=``);
+    #: ``None`` = the runner's configured default
+    tag: str | None = None
 
     @property
     def n_images(self) -> int:
         return int(self.x.shape[0])
+
+
+def _runner_accepts_tag(runner) -> bool:
+    """Whether ``runner`` can take the per-request ``tag=`` keyword."""
+    try:
+        inspect.signature(runner).bind([], tag=None)
+    except (TypeError, ValueError):
+        return False
+    return True
 
 
 #: Queue sentinel marking the end of accepted traffic during drain.
@@ -85,6 +99,7 @@ class MicroBatcher:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.runner = runner
+        self._runner_takes_tag = _runner_accepts_tag(runner)
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.concurrency = concurrency
@@ -135,18 +150,24 @@ class MicroBatcher:
             self._executor = None
 
     # -- submission --------------------------------------------------------
-    def submit(self, x: np.ndarray) -> asyncio.Future:
+    def submit(self, x: np.ndarray, tag: str | None = None) -> asyncio.Future:
         """Enqueue one request; the future resolves to its own result.
 
         Synchronous up to the enqueue, so a caller that checked
         admission cannot be raced by a drain starting on the same loop:
         anything accepted before the drain sentinel is flushed by it.
+
+        ``tag`` rides with the request to the runner (the per-request
+        ``generator=`` of the serving plane); tagged requests still
+        coalesce with untagged ones — the group is partitioned into
+        contiguous same-tag runs at execution time, so coalescing never
+        changes which tag a request executes under.
         """
         if not self.is_running or self._draining:
             raise RuntimeError("batcher is not accepting requests")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._queue.put_nowait(_Request(np.asarray(x), future, loop.time()))
+        self._queue.put_nowait(_Request(np.asarray(x), future, loop.time(), tag))
         return future
 
     # -- the coalescing loop ----------------------------------------------
@@ -243,14 +264,35 @@ class MicroBatcher:
             m.batch_size.observe(total)
             m.batch_flush_total.inc(1.0, reason or "timeout")
             try:
-                results = await loop.run_in_executor(
-                    self._executor, self.runner, [r.x for r in group]
-                )
-                if len(results) != len(group):
-                    raise RuntimeError(
-                        f"runner returned {len(results)} results "
-                        f"for {len(group)} requests"
-                    )
+                # Partition into contiguous same-tag runs: FIFO order is
+                # preserved across runner calls, and each request executes
+                # under exactly its own tag no matter how it coalesced.
+                parts: list[tuple[str | None, list[_Request]]] = []
+                for req in group:
+                    if parts and parts[-1][0] == req.tag:
+                        parts[-1][1].append(req)
+                    else:
+                        parts.append((req.tag, [req]))
+                results: list = []
+                for tag, part in parts:
+                    if tag is None:
+                        call = functools.partial(self.runner, [r.x for r in part])
+                    elif self._runner_takes_tag:
+                        call = functools.partial(
+                            self.runner, [r.x for r in part], tag=tag
+                        )
+                    else:
+                        raise RuntimeError(
+                            f"runner {self.runner!r} does not accept per-request "
+                            f"tags (request tagged {tag!r})"
+                        )
+                    part_results = await loop.run_in_executor(self._executor, call)
+                    if len(part_results) != len(part):
+                        raise RuntimeError(
+                            f"runner returned {len(part_results)} results "
+                            f"for {len(part)} requests"
+                        )
+                    results.extend(part_results)
                 for req, res in zip(group, results):
                     if not req.future.done():
                         req.future.set_result(res)

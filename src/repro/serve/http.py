@@ -3,8 +3,11 @@
 Endpoints:
 
 * ``POST /v1/predict`` — JSON ``{"images": [...], "deadline_ms"?,
-  "return"?: "classes"|"logits"|"both"}``; images are one image or a
-  batch shaped like the model input.  Answers 200 with classes (and
+  "return"?: "classes"|"logits"|"both", "generator"?}``; images are one
+  image or a batch shaped like the model input.  ``generator`` (or the
+  ``x-generator`` header on the raw path) names an SNG registry family
+  (see ``repro generators``) the conventional-SC engines draw from for
+  this request; an unknown key answers 400 at admission.  Answers 200 with classes (and
   logits on request), 400 on malformed input, 429 + ``Retry-After``
   under backpressure, 503 while draining, 504 past deadline.
   Alternatively ``Content-Type: application/x-repro-float64`` selects
@@ -122,6 +125,10 @@ class ServerConfig:
     #: tensor backend spec per replica: None (numpy), one spec, or a
     #: comma list (one per replica); see ``repro backends``
     backend: str | None = None
+    #: default SNG generator family for every replica (a
+    #: :mod:`repro.sc.generators` registry key; None = engine default).
+    #: Requests may override per call with the ``generator`` field.
+    generator: str | None = None
 
     def _broadcast(self, values: list, flag: str) -> list:
         n = max(1, int(self.replicas))
@@ -203,12 +210,23 @@ def build_engine(config: ServerConfig):
     spec = {"digits": DIGITS_QUICK_SPEC, "shapes": SHAPES_QUICK_SPEC}[config.benchmark]
     model = get_trained_model(spec)
     attach_engines(model.net, config.engine, model.ranges, n_bits=config.n_bits)
+    if config.generator is not None:
+        # bake the default family into the attached engines so the
+        # precompiled artifact's manifest covers the right ud-table
+        from repro.sc.generators import resolve_generator
+
+        resolve_generator(config.generator)  # fail fast, pre-listen
+        for conv in model.net.conv_layers:
+            if hasattr(conv.engine, "generator"):
+                conv.engine.generator = config.generator
     schedule_artifact = None
     if config.precompile:
         # Compile-or-load before the first request: workers then attach
         # the artifact read-only instead of rebuilding schedules, which
         # is what makes pool cold starts sub-second.
-        key = schedule_artifact_key(spec.name, config.engine, config.n_bits)
+        key = schedule_artifact_key(
+            spec.name, config.engine, config.n_bits, config.generator
+        )
         compiled = ensure_compiled(model.net, get_store(), key)
         attach_compiled(compiled)
         schedule_artifact = {
@@ -227,6 +245,7 @@ def build_engine(config: ServerConfig):
             workers=workers,
             batch_size=config.shard_batch,
             backend=backend,
+            generator=config.generator,
             retry=RetryPolicy(
                 max_attempts=config.shard_retries,
                 shard_timeout_s=config.shard_timeout_s,
@@ -240,6 +259,7 @@ def build_engine(config: ServerConfig):
         "n_bits": config.n_bits,
         "workers": workers,
         "backend": backend or "numpy",
+        "generator": config.generator or "lfsr",
         "shard_batch": config.shard_batch,
         "schedule_artifact": schedule_artifact,
     }
@@ -333,6 +353,10 @@ class ServingServer:
         self.model_meta["backends_per_replica"] = [
             b or "numpy" for b in self.config.backends_per_replica()
         ]
+        from repro.sc.generators import generator_keys
+
+        self.model_meta["generators"] = generator_keys()
+        self.metrics.attach_generators(generator_keys())
         self.batcher = MicroBatcher(
             pool.run_grouped,
             max_batch_size=self.config.max_batch,
@@ -563,8 +587,20 @@ class ServingServer:
         if want not in ("classes", "logits", "both"):
             return 400, _json_body({"error": f"unknown return mode {want!r}"}), \
                 "application/json", {}
+        generator = doc.get("generator", headers.get("x-generator")) or None
+        if generator is not None:
+            # Admission-time validation: an unknown family answers 400
+            # before the request ever reaches the batcher, so it can
+            # never fail a coalesced group or trip a replica breaker.
+            from repro.sc.generators import resolve_generator
+
+            try:
+                resolve_generator(str(generator))
+            except ValueError as exc:
+                return 400, _json_body({"error": str(exc)}), "application/json", {}
+            generator = str(generator)
         try:
-            logits = await self.service.predict(x, deadline)
+            logits = await self.service.predict(x, deadline, generator=generator)
         except QueueFullError as exc:
             return 429, _json_body({"error": str(exc)}), "application/json", {
                 "Retry-After": str(int(-(-exc.retry_after_s // 1)))

@@ -427,6 +427,11 @@ class ServiceMetrics:
             "Tensor backend serving each pool replica (value is always 1).",
             ("replica", "backend"),
         )
+        self.generator_info = r.labeled_gauge(
+            "repro_generator_info",
+            "SNG generator families servable per request (value is always 1).",
+            ("generator",),
+        )
 
     # -- adapters for the parallel engine's hook protocol -----------------
     def engine_hook(self, n_images: int, seconds: float, workers: int) -> None:
@@ -460,6 +465,11 @@ class ServiceMetrics:
             )
         if backend is not None:
             self.backend_info.set(1.0, name, backend)
+
+    def attach_generators(self, keys) -> None:
+        """Advertise the servable SNG generator registry keys."""
+        for key in keys:
+            self.generator_info.set(1.0, str(key))
 
     def render(self) -> str:
         return self.registry.render()

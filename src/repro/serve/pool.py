@@ -249,13 +249,14 @@ class EnginePool:
             else:
                 b.record_success()
 
-    def run_grouped(self, xs):
+    def run_grouped(self, xs, tag: str | None = None):
         """Serve one coalesced group on some healthy replica.
 
         This is the micro-batcher's runner.  A replica failure records
         on that replica's breaker and fails over to the next healthy
         one; the original exception propagates only once every
-        candidate has refused or failed.
+        candidate has refused or failed.  ``tag`` is the per-request
+        SNG generator override, forwarded to the replica engine.
         """
         last_exc: Exception | None = None
         tried: set[int] = set()
@@ -267,7 +268,10 @@ class EnginePool:
                     raise last_exc
                 raise
             try:
-                out = replica.engine.logits_grouped(xs)
+                if tag is None:
+                    out = replica.engine.logits_grouped(xs)
+                else:
+                    out = replica.engine.logits_grouped(xs, generator=tag)
             except Exception as exc:
                 self._release(replica, failed=True)
                 tried.add(replica.index)

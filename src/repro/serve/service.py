@@ -130,11 +130,16 @@ class InferenceService:
         turns = max(1, self.queue_depth) * self.batcher.max_wait_ms / 1000.0
         return max(1.0, round(turns, 1))
 
-    async def predict(self, x, deadline_ms: float | None = None):
+    async def predict(
+        self, x, deadline_ms: float | None = None, generator: str | None = None
+    ):
         """One request through admission, batching, and the engine.
 
         Returns the request's own result (per-request logits array).
         Raises one of the :class:`ServiceError` subclasses on refusal.
+        ``generator`` overrides the SNG family for this one request (a
+        :mod:`repro.sc.generators` registry key, validated upstream at
+        admission); ``None`` keeps the engine's configured family.
         """
         m = self.metrics
         if _faults.enabled():
@@ -155,7 +160,7 @@ class InferenceService:
         m.queue_depth.observe(self.inflight)
         # No await between the check above and the enqueue below: the
         # admitted request is in the batcher before a drain can start.
-        future = self.batcher.submit(x)
+        future = self.batcher.submit(x, tag=generator)
         self.inflight += 1
         self.accepted += 1
         m.inflight.inc()

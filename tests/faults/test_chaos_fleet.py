@@ -69,6 +69,27 @@ def test_hypothesis_drawn_schedules_recover_bit_exact(
 
 
 @pytest.mark.parametrize("seed", chaos_seeds())
+def test_generator_override_schedule_recovers_bit_exact(seed, images):
+    """The generator axis of the fleet: a randomized fault schedule under
+    a non-default SNG family must recover bit-exact against the serial
+    run of that *same* family (the override rides worker respawns)."""
+    from repro.nn import attach_engines, build_mnist_net
+    from repro.nn.calibration import LayerRanges
+
+    net = build_mnist_net(seed=3, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "lfsr-sc", ranges, n_bits=6)
+    serial = predict_logits(
+        net, images, ParallelConfig(workers=0, batch_size=2, generator="mip")
+    )
+    cfg = ParallelConfig(workers=2, batch_size=2, generator="mip", retry=CFG.retry)
+    plan = random_plan(seed, n_shards=3)
+    with hooks.injected(plan):
+        out = predict_logits(net, images, cfg)
+    assert np.array_equal(out, serial), plan.describe()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
 def test_fixed_seed_schedule_matmul_bit_exact(seed):
     engine = ProposedScEngine(n_bits=8)
     data = np.random.default_rng(12345)

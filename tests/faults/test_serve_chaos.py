@@ -265,6 +265,49 @@ class TestServeEndToEnd:
 
         asyncio.run(run())
 
+    def test_unknown_generator_storm_is_400s_and_never_trips_breaker(
+        self, net, images, serial_logits
+    ):
+        """A storm of unknown-``generator`` requests is refused at
+        admission (400 naming the registry) and must never count against
+        the engine circuit: after more bad requests than the breaker
+        threshold, the circuit is still closed and a valid request is
+        served bit-exact."""
+        from repro.serve import ServingServer
+        from benchmarks.loadgen import http_request
+
+        async def run():
+            config = self._config(workers=0)
+            server = ServingServer(
+                config,
+                engine_factory=lambda c: self._factory(net, (1, 28, 28), c),
+            )
+            await server.start()
+            bad = json.dumps(
+                {"images": images.tolist(), "generator": "mersenne"}
+            ).encode()
+            good = json.dumps(
+                {"images": images.tolist(), "return": "logits", "generator": "lfsr"}
+            ).encode()
+            try:
+                for _ in range(config.breaker_threshold + 2):
+                    status, payload = await http_request(
+                        "127.0.0.1", server.port, "POST", "/v1/predict", bad
+                    )
+                    assert status == 400
+                    assert "unknown generator" in json.loads(payload)["error"]
+                assert server.service.breaker.state == "closed"
+                status, payload = await http_request(
+                    "127.0.0.1", server.port, "POST", "/v1/predict", good
+                )
+                assert status == 200
+                served = np.asarray(json.loads(payload)["logits"])
+                assert np.array_equal(served, serial_logits)
+            finally:
+                await server.drain_and_stop()
+
+        asyncio.run(run())
+
     def test_engine_dispatch_fault_storm_opens_circuit_then_recovers(
         self, net, images, serial_logits
     ):

@@ -87,3 +87,51 @@ class TestSng:
 
     def test_comparator_stream(self):
         assert comparator_stream(np.array([0, 3, 7]), 4).tolist() == [1, 1, 0]
+
+
+class TestSharedSourceSemantics:
+    """One ``Sng`` is one hardware generator: every stream it emits
+    compares against the *same* random window.  An earlier revision
+    consumed the source on each ``generate`` call, so a second stream
+    silently saw the next window — equivalent to reseeding
+    mid-conversion, which no shared hardware SNG does."""
+
+    def test_repeated_generate_is_identical(self):
+        sng = Sng(LfsrSource(5, seed=3))
+        first = sng.generate(13, 32)
+        # regression: this used to return the comparator output of the
+        # *next* 32 source values instead of the same shared window
+        assert np.array_equal(sng.generate(13, 32), first)
+
+    def test_streams_share_one_window(self):
+        sng = Sng(LfsrSource(5, seed=3))
+        a = sng.generate(9, 32)
+        b = sng.generate(21, 32)
+        fresh = LfsrSource(5, seed=3).sequence(32)
+        assert np.array_equal(a, comparator_stream(fresh, 9))
+        assert np.array_equal(b, comparator_stream(fresh, 21))
+        # comparator streams off one source nest: higher value adds ones
+        assert (b - a >= 0).all()
+
+    def test_shared_streams_are_maximally_correlated(self):
+        from repro.sc.bitstream import sc_correlation
+
+        sng = Sng(LfsrSource(6, seed=5))
+        a = sng.generate(20, 64)
+        b = sng.generate(44, 64)
+        assert sc_correlation(a, b) == pytest.approx(1.0)
+
+    def test_longer_generate_extends_the_window(self):
+        sng = Sng(LfsrSource(5, seed=3))
+        short = sng.generate(13, 8)
+        long = sng.generate(13, 48)
+        assert np.array_equal(short, long[:8])
+        sng2 = Sng(LfsrSource(5, seed=3))
+        assert np.array_equal(sng2.generate(13, 48), long)
+
+    def test_reset_starts_a_fresh_window(self):
+        sng = Sng(LfsrSource(5, seed=3))
+        first = sng.generate(13, 32)
+        sng.generate(7, 48)  # grow the window past the first call
+        sng.reset()
+        assert np.array_equal(sng.generate(13, 32), first)

@@ -74,9 +74,9 @@ def reference():
     return lookup
 
 
-async def post_predict(port, images) -> list[int]:
+async def post_raw(port, doc: dict) -> tuple[int, dict]:
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    payload = json.dumps({"images": images.tolist()}).encode()
+    payload = json.dumps(doc).encode()
     writer.write(
         (
             "POST /v1/predict HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
@@ -86,7 +86,6 @@ async def post_predict(port, images) -> list[int]:
     )
     await writer.drain()
     status = int((await reader.readline()).split()[1])
-    assert status == 200
     length = 0
     while True:
         line = await reader.readline()
@@ -97,7 +96,16 @@ async def post_predict(port, images) -> list[int]:
             length = int(value)
     body = await reader.readexactly(length)
     writer.close()
-    return json.loads(body)["classes"]
+    return status, json.loads(body)
+
+
+async def post_predict(port, images, generator=None) -> list[int]:
+    doc = {"images": images.tolist()}
+    if generator is not None:
+        doc["generator"] = generator
+    status, body = await post_raw(port, doc)
+    assert status == 200, body
+    return body["classes"]
 
 
 def serve_stream(replicas, image_pool, requests, concurrent=False):
@@ -174,3 +182,149 @@ class TestReplicaParity:
         for indices, classes in zip(stream, rendered[1]):
             lines.append(f"{list(indices)!r} -> {classes!r}")
         golden.check("replica_parity_classes.txt", "\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# the generator axis: per-request SNG family overrides through the pool
+
+GEN_BITS = 6  # lfsr-sc at a width where every registry family is cheap
+
+
+def fresh_lfsr_net():
+    """Same seed every call, with the generator-aware lfsr-sc engine."""
+    net = build_mnist_net(seed=3, c1=2, c2=3, fc=16)
+    ranges = [LayerRanges(1.0, 1.0) for _ in net.conv_layers]
+    attach_engines(net, "lfsr-sc", ranges, n_bits=GEN_BITS)
+    return net
+
+
+def lfsr_replica_factory(config):
+    engine = BatchInferenceEngine(
+        fresh_lfsr_net(), ParallelConfig(workers=0, batch_size=SHARD)
+    )
+    return engine, (1, 28, 28), {"benchmark": "parity-gen"}
+
+
+def serve_generator_stream(replicas, image_pool, requests, concurrent=False):
+    """Serve ``(indices, generator)`` requests against a pool server."""
+
+    async def run():
+        server = ServingServer(
+            ServerConfig(
+                port=0,
+                replicas=replicas,
+                shard_batch=SHARD,
+                max_wait_ms=1.0,
+                queue_depth=32,
+            ),
+            engine_factory=lfsr_replica_factory,
+        )
+        await server.start()
+        try:
+            coros = [
+                post_predict(server.port, image_pool[list(indices)], generator=gen)
+                for indices, gen in requests
+            ]
+            if concurrent:
+                return await asyncio.gather(*coros)
+            return [await c for c in coros]
+        finally:
+            await server.drain_and_stop()
+
+    return asyncio.run(run())
+
+
+@pytest.fixture(scope="module")
+def generator_reference(image_pool):
+    """Serial predictions keyed by (image indices, generator spec)."""
+    net = fresh_lfsr_net()
+    cache: dict[tuple, list[int]] = {}
+
+    def lookup(indices, generator) -> list[int]:
+        key = (tuple(indices), generator)
+        if key not in cache:
+            cache[key] = net.predict(
+                image_pool[list(indices)], batch=SHARD, generator=generator
+            ).tolist()
+        return cache[key]
+
+    return lookup
+
+
+class TestGeneratorAxis:
+    """Mixed per-request ``generator=`` overrides stay bit-exact."""
+
+    MIXED = [
+        ((0, 1, 2), None),
+        ((3, 4), "mip"),
+        ((5, 0), "halton"),
+        ((1, 2, 3), "parallel"),
+        ((4,), "mip"),
+        ((5, 1), "lfsr"),
+    ]
+
+    @pytest.mark.parametrize("replicas", (1, 2))
+    def test_mixed_generator_stream_bit_equal_to_serial(
+        self, replicas, image_pool, generator_reference
+    ):
+        served = serve_generator_stream(replicas, image_pool, self.MIXED)
+        for (indices, gen), classes in zip(self.MIXED, served):
+            assert classes == generator_reference(indices, gen), (
+                f"replicas={replicas} request {indices} generator={gen} "
+                "diverged from serial"
+            )
+
+    def test_concurrent_mixed_generators_never_cross_contaminate(
+        self, image_pool, generator_reference
+    ):
+        """In-flight requests with different tags coalesce in one batcher
+        group yet each must match its own generator's serial run."""
+        served = serve_generator_stream(2, image_pool, self.MIXED, concurrent=True)
+        for (indices, gen), classes in zip(self.MIXED, served):
+            assert classes == generator_reference(indices, gen)
+
+    def test_explicit_lfsr_equals_default(self, image_pool):
+        stream = [((0, 1, 2, 3), None), ((0, 1, 2, 3), "lfsr")]
+        served = serve_generator_stream(1, image_pool, stream)
+        assert served[0] == served[1]
+
+    def test_unknown_generator_is_a_clean_400(self, image_pool):
+        async def run():
+            server = ServingServer(
+                ServerConfig(port=0, replicas=2, shard_batch=SHARD, max_wait_ms=1.0),
+                engine_factory=lfsr_replica_factory,
+            )
+            await server.start()
+            try:
+                status, body = await post_raw(
+                    server.port,
+                    {"images": image_pool[:1].tolist(), "generator": "mersenne"},
+                )
+                assert status == 400
+                assert "unknown generator" in body["error"]
+                # the refusal happened at admission: serving is unharmed
+                classes = await post_predict(server.port, image_pool[[0]])
+                assert len(classes) == 1
+            finally:
+                await server.drain_and_stop()
+
+        asyncio.run(run())
+
+    def test_meta_and_metrics_list_generator_families(self, image_pool):
+        from repro.sc.generators import generator_keys
+
+        async def run():
+            server = ServingServer(
+                ServerConfig(port=0, replicas=1, shard_batch=SHARD, max_wait_ms=1.0),
+                engine_factory=lfsr_replica_factory,
+            )
+            await server.start()
+            try:
+                assert server.model_meta["generators"] == generator_keys()
+                text = server.metrics.render()
+                for key in generator_keys():
+                    assert f'repro_generator_info{{generator="{key}"}} 1' in text
+            finally:
+                await server.drain_and_stop()
+
+        asyncio.run(run())
